@@ -1,0 +1,65 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every bench regenerates one table or figure from the paper at
+laptop-friendly scale (documented per file), printing the same rows/series
+the paper reports and writing them under ``benchmarks/results/``.
+EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scale factors shared by all benches: object counts are scaled down from
+#: the paper's multi-million-object traces so ground-truth simulation sweeps
+#: finish in seconds while preserving each trace's reuse structure.
+N_REQUESTS = 120_000
+MSR_SCALE = 0.25
+TW_SCALE = 0.35
+GRID_POINTS = 12
+
+
+def write_result(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")
+
+
+@functools.lru_cache(maxsize=None)
+def msr_trace(server: str, variable_size: bool = False, n_requests: int = N_REQUESTS):
+    from repro.workloads import msr
+
+    return msr.make_trace(
+        server, n_requests, seed=11, variable_size=variable_size, scale=MSR_SCALE
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def twitter_trace(cluster: str, variable_size: bool = True, n_requests: int = N_REQUESTS):
+    from repro.workloads import twitter
+
+    return twitter.make_trace(
+        cluster, n_requests, seed=17, variable_size=variable_size, scale=TW_SCALE
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def ycsb_trace(kind: str, alpha: float, n_requests: int = N_REQUESTS):
+    from repro.workloads import ycsb
+
+    if kind == "C":
+        return ycsb.workload_c(15_000, n_requests, alpha, rng=7)
+    n_scans = max(1, n_requests // 600)
+    return ycsb.workload_e(12_000, n_scans, alpha, max_scan_length=1_200, rng=7)
+
+
+def sampling_rate_for(trace) -> float:
+    """The paper's rate rule rescaled to our trace sizes: target ~2.5k
+    sampled objects (the paper targets 8k on traces 50x larger)."""
+    from repro.sampling import choose_rate
+
+    return choose_rate(trace.unique_objects(), min_objects=2_500)

@@ -1,0 +1,55 @@
+"""Ablation — the K' = K^e correction exponent (§4.2).
+
+The paper picks e = 1.4 empirically ("we find that K' ~= K^1.4 yields a
+very accurate approximation").  This ablation sweeps the exponent on a
+loop-heavy Type-A trace (the case the correction exists for) and verifies
+that e = 1.4 is a sensible choice: it must beat no correction (e = 1.0)
+and not be dominated by the sweep's extremes.
+"""
+
+import numpy as np
+
+from repro import KRRModel
+from repro.analysis import render_table
+from repro.mrc import mean_absolute_error
+from repro.simulator import klru_mrc, object_size_grid
+from repro.workloads import msr
+
+from _common import write_result
+
+EXPONENTS = (1.0, 1.2, 1.4, 1.6, 1.8)
+KS = (4, 8, 16)
+N = 60_000
+
+
+def test_ablation_correction_exponent(benchmark):
+    trace = msr.make_trace("src2", N, scale=0.15)
+    sizes = object_size_grid(trace, 10)
+
+    def run():
+        truths = {k: klru_mrc(trace, k, sizes=sizes, rng=30 + k) for k in KS}
+        table_rows = []
+        mae_by_exp = {}
+        for e in EXPONENTS:
+            maes = []
+            for k in KS:
+                model = KRRModel(k=k, correction=True, correction_exponent=e, seed=40)
+                pred = model.process(trace).mrc()
+                maes.append(mean_absolute_error(truths[k], pred))
+            mae_by_exp[e] = float(np.mean(maes))
+            table_rows.append([e] + [round(m, 5) for m in maes] + [round(mae_by_exp[e], 5)])
+        return table_rows, mae_by_exp
+
+    rows, mae_by_exp = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = render_table(
+        ["exponent"] + [f"MAE(K={k})" for k in KS] + ["mean"],
+        rows,
+        title=f"Ablation — K' exponent sweep on {trace.name}",
+        width=12,
+    )
+    write_result("ablation_kprime", table)
+
+    # 1.4 must improve on no correction and sit near the sweep's optimum.
+    assert mae_by_exp[1.4] <= mae_by_exp[1.0]
+    best = min(mae_by_exp.values())
+    assert mae_by_exp[1.4] <= best + 0.005

@@ -1,0 +1,61 @@
+"""Ablation — why KRR exists: exact-LRU MRC techniques on a K-LRU cache.
+
+The paper's motivation (§2.3): SHARDS / AET / Counter Stacks / StatStack
+model *exact LRU* and "are no longer suitable for a cache with the K-LRU
+policy" at small K, while for K >= 32 K-LRU converges to LRU and the paper
+explicitly recommends those tools instead.  This bench measures every
+baseline against simulated K-LRU at K=1, 4 and 32 on a Type-A trace.
+"""
+
+from repro import model_trace
+from repro.analysis import render_table
+from repro.baselines import aet_mrc, counterstacks_mrc, shards_mrc, statstack_mrc
+from repro.mrc import mean_absolute_error
+from repro.simulator import klru_mrc, object_size_grid
+
+from _common import msr_trace, write_result
+
+KS = (1, 4, 32)
+
+
+def test_ablation_lru_baselines_on_klru(benchmark):
+    trace = msr_trace("src1", n_requests=60_000)
+    sizes = object_size_grid(trace, 10)
+
+    def run():
+        baselines = {
+            "SHARDS(R=1)": shards_mrc(trace, rate=1.0, adjustment=False),
+            "SHARDS(R=.5)": shards_mrc(trace, rate=0.5, seed=1),
+            "AET": aet_mrc(trace, sizes),
+            "StatStack": statstack_mrc(trace),
+            "CounterStacks": counterstacks_mrc(trace, downsample=1_000),
+        }
+        rows = []
+        errors = {}
+        for k in KS:
+            truth = klru_mrc(trace, k, sizes=sizes, rng=50 + k)
+            krr = model_trace(trace, k=k, seed=60 + k).mrc()
+            errors[("KRR", k)] = mean_absolute_error(truth, krr)
+            row = [k, round(errors[("KRR", k)], 4)]
+            for name, curve in baselines.items():
+                errors[(name, k)] = mean_absolute_error(truth, curve)
+                row.append(round(errors[(name, k)], 4))
+            rows.append(row)
+        return rows, errors
+
+    rows, errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers = ["K", "KRR", "SHARDS(R=1)", "SHARDS(R=.5)", "AET", "StatStack",
+               "CounterStacks"]
+    table = render_table(
+        headers, rows,
+        title=f"Ablation — LRU baselines predicting K-LRU on {trace.name}",
+        width=13,
+    )
+    write_result("ablation_lru_baselines", table)
+
+    # Small K: KRR dominates every LRU-only technique.
+    for name in ("SHARDS(R=1)", "AET", "StatStack"):
+        assert errors[(name, 1)] > 3 * errors[("KRR", 1)], name
+        assert errors[(name, 4)] > 2 * errors[("KRR", 4)], name
+    # Large K: LRU techniques become reasonable (the paper's §5.3 advice).
+    assert errors[("SHARDS(R=1)", 32)] < 0.03

@@ -1,0 +1,69 @@
+"""Ablation — Corollary 1 and Proposition 3 scaling, measured.
+
+Verifies the two analytic cost results empirically at benchmark scale:
+
+* Corollary 1: expected swap positions per update is O(K log M) — we
+  measure mean swaps per update for the backward strategy across stack
+  sizes and K, and compare against the exact expectation.
+* Proposition 3: the top-down recursion visits O(K log^2 M) nodes.
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core.eviction import expected_swap_positions
+from repro.core.updates import BackwardUpdate, TopDownUpdate
+
+from _common import write_result
+
+PHIS = (256, 1024, 4096, 16384)
+KS = (1, 4, 16)
+TRIALS = 400
+
+
+def test_ablation_swap_scaling(benchmark):
+    def run():
+        rows = []
+        for k in KS:
+            for phi in PHIS:
+                back = BackwardUpdate(k, rng=1)
+                mean_swaps = np.mean(
+                    [len(back.swap_positions(phi)) for _ in range(TRIALS)]
+                )
+                top = TopDownUpdate(k, rng=2)
+                for _ in range(TRIALS):
+                    top.swap_positions(phi)
+                mean_nodes = top.nodes_visited / TRIALS
+                expected = expected_swap_positions(phi, k) + 1
+                rows.append(
+                    [
+                        k,
+                        phi,
+                        round(float(mean_swaps), 2),
+                        round(expected, 2),
+                        round(mean_nodes, 1),
+                        round(k * math.log2(phi) ** 2, 1),
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = render_table(
+        ["K", "phi", "swaps(meas)", "swaps(E)", "nodes(meas)", "K*log2^2"],
+        rows,
+        title="Ablation — Corollary 1 / Proposition 3 scaling",
+        width=12,
+    )
+    write_result("ablation_swap_scaling", table)
+
+    for k, phi, meas, expected, nodes, bound in rows:
+        # Measured swaps match the exact expectation within 10%.
+        assert abs(meas - expected) / expected < 0.10, (k, phi)
+        # Top-down node visits stay within the K log^2 M bound.
+        assert nodes < bound + 10, (k, phi)
+    # Log scaling: quadrupling phi must far less than quadruple the cost.
+    by_k = {k: [r for r in rows if r[0] == k] for k in KS}
+    for k, group in by_k.items():
+        assert group[-1][2] / group[0][2] < 2.5, k

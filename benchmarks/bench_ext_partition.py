@@ -1,0 +1,86 @@
+"""Extension — cache partitioning over KRR curves (the LAMA use case).
+
+The paper's introduction cites LAMA/pRedis-style memory management as a
+prime MRC application.  This bench closes the loop: KRR-predicted curves
+for four heterogeneous tenants feed the partition optimizers, and the
+optimized split must beat the equal split both in predicted cost and in
+*simulated* weighted misses (prediction errors could in principle mislead
+the optimizer; this verifies they don't).
+"""
+
+from repro import model_trace
+from repro.analysis import render_table
+from repro.partition import (
+    Tenant,
+    equal_partition,
+    greedy_partition,
+    optimal_partition_dp,
+)
+from repro.simulator import KLRUCache, run_trace
+from repro.workloads import Trace, msr
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+from _common import write_result
+
+K = 5
+BUDGET = 5_000
+
+
+def _workloads():
+    return [
+        (Trace(ScrambledZipfGenerator(2_500, 1.3, rng=1).sample(50_000),
+               name="hot-skewed"), 3.0),
+        (Trace(ScrambledZipfGenerator(7_000, 0.6, rng=2).sample(50_000),
+               name="wide-mild"), 1.0),
+        (msr.make_trace("src2", 50_000, scale=0.12, seed=3), 1.5),
+        (Trace(ScrambledZipfGenerator(800, 1.8, rng=4).sample(50_000),
+               name="tiny-hot"), 0.5),
+    ]
+
+
+def test_ext_partitioning(benchmark):
+    workloads = _workloads()
+
+    def run():
+        tenants = [
+            Tenant(trace.name, model_trace(trace, k=K, seed=7).mrc(), rate)
+            for trace, rate in workloads
+        ]
+        plans = {
+            "equal": equal_partition(tenants, BUDGET),
+            "greedy": greedy_partition(tenants, BUDGET, unit=50),
+            "dp": optimal_partition_dp(tenants, BUDGET, unit=100),
+        }
+
+        def simulate(plan):
+            total = 0.0
+            for (trace, rate), tenant in zip(workloads, tenants):
+                cache = KLRUCache(max(1, plan.allocations[tenant.name]), K, rng=11)
+                run_trace(cache, trace)
+                total += rate * cache.stats.miss_ratio
+            return total
+
+        simulated = {name: simulate(plan) for name, plan in plans.items()}
+        return tenants, plans, simulated
+
+    tenants, plans, simulated = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, plan in plans.items():
+        rows.append(
+            [name]
+            + [plan.allocations[t.name] for t in tenants]
+            + [round(plan.total_miss_cost, 4), round(simulated[name], 4)]
+        )
+    table = render_table(
+        ["plan"] + [t.name for t in tenants] + ["predicted", "simulated"],
+        rows,
+        title=f"Extension — partitioning {BUDGET} objects across 4 tenants",
+        width=12,
+    )
+    write_result("ext_partition", table)
+
+    # Optimized plans beat the equal split in prediction AND simulation.
+    assert plans["greedy"].total_miss_cost < plans["equal"].total_miss_cost
+    assert plans["dp"].total_miss_cost <= plans["greedy"].total_miss_cost + 1e-6
+    assert simulated["greedy"] < simulated["equal"]
+    assert simulated["dp"] < simulated["equal"]

@@ -1,0 +1,83 @@
+"""Extension — sampled-priority policy family (the paper's future work).
+
+The conclusion names frequency- and expiration-based sampled policies as
+future work; this bench exercises the implemented family end to end:
+
+* sampled LFU retains a hot set through scan traffic better than sampled
+  LRU (the classic LFU advantage);
+* every sampled policy is lower-bounded by OPT;
+* miniature simulation reproduces the exact sweep for a non-stack policy
+  (the §6.2 generic technique), making the family's MRCs cheap;
+* TTL expiration raises the miss-ratio floor as expected.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.mrc import mean_absolute_error
+from repro.policies import miniature_policy_mrc, sampled_policy_mrc
+from repro.stack import opt_mrc
+from repro.simulator import object_size_grid
+from repro.workloads import Trace, patterns
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+from _common import write_result
+
+POLICIES = ("lru", "lfu", "hyperbolic", "fifo")
+
+
+def _hot_scan_trace():
+    hot = ScrambledZipfGenerator(800, 1.3, rng=1).sample(60_000)
+    scan = patterns.sequential_scan(10_000, 12_000)
+    return Trace(
+        patterns.interleave_streams([hot, scan], [0.83, 0.17], rng=2),
+        name="hot-set+scan",
+    )
+
+
+def test_ext_sampled_policy_family(benchmark):
+    trace = _hot_scan_trace()
+    sizes = object_size_grid(trace, 8)
+
+    def run():
+        curves = {
+            p: sampled_policy_mrc(trace, p, k=5, sizes=sizes, rng=3)
+            for p in POLICIES
+        }
+        opt = opt_mrc(trace)
+        mini_lfu = miniature_policy_mrc(
+            trace, "lfu", k=5, rate=0.4, sizes=sizes, rng=4
+        )
+        ttl_curve = sampled_policy_mrc(
+            trace, "lru", k=5, sizes=sizes, ttl=5_000, rng=5
+        )
+        return curves, opt, mini_lfu, ttl_curve
+
+    curves, opt, mini_lfu, ttl_curve = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for s in curves["lru"].sizes:
+        rows.append(
+            [int(s)]
+            + [round(float(curves[p](s)), 4) for p in POLICIES]
+            + [round(float(ttl_curve(s)), 4), round(float(opt(s)), 4)]
+        )
+    table = render_table(
+        ["size"] + list(POLICIES) + ["lru+ttl", "OPT"],
+        rows,
+        title=f"Extension — sampled policies on {trace.name} (K=5)",
+        width=11,
+    )
+    write_result("ext_policies", table)
+
+    mid = curves["lru"].sizes[len(sizes) // 2]
+    # LFU keeps the hot set through the scan: better than sampled LRU.
+    assert float(curves["lfu"](mid)) < float(curves["lru"](mid))
+    # OPT lower-bounds every policy.
+    grid = np.linspace(sizes[0], sizes[-1], 12)
+    for p in POLICIES:
+        assert (opt(grid) <= curves[p](grid) + 0.01).all(), p
+    # Miniature simulation tracks the exact sweep.
+    assert mean_absolute_error(curves["lfu"], mini_lfu) < 0.05
+    # A TTL strictly hurts (objects expire before natural reuse).
+    assert float(ttl_curve(sizes[-1])) >= float(curves["lru"](sizes[-1]))

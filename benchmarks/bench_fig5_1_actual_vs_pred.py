@@ -1,0 +1,83 @@
+"""Figure 5.1 — actual vs. predicted K-LRU MRCs (YCSB-E a=1.5, MSR src1).
+
+Paper's claim: for K in {1, 4, 16} the KRR and KRR+spatial curves are
+nearly indistinguishable from the simulated K-LRU curves, while the exact
+LRU curve (plotted for contrast) visibly differs at small K.
+"""
+
+from repro import model_trace
+from repro.analysis import render_table
+from repro.mrc import mean_absolute_error
+from repro.mrc.builder import from_distance_histogram
+from repro.simulator import klru_mrc, object_size_grid
+from repro.stack.lru_stack import lru_histograms
+
+from _common import msr_trace, sampling_rate_for, write_result, ycsb_trace
+
+KS = (1, 4, 16)
+
+
+def test_fig5_1_actual_vs_predicted(benchmark):
+    traces = [ycsb_trace("E", 1.5, n_requests=60_000), msr_trace("src1", n_requests=60_000)]
+
+    def run():
+        out = {}
+        for trace in traces:
+            sizes = object_size_grid(trace, 10)
+            rate = sampling_rate_for(trace)
+            hist, _ = lru_histograms(trace)
+            lru = from_distance_histogram(hist, label="LRU")
+            per_k = {}
+            for k in KS:
+                per_k[k] = {
+                    "actual": klru_mrc(trace, k, sizes=sizes, rng=500 + k),
+                    "krr": model_trace(trace, k=k, seed=600 + k).mrc(),
+                    "krr_spatial": model_trace(
+                        trace, k=k, sampling_rate=rate, seed=700 + k
+                    ).mrc(),
+                }
+            out[trace.name] = (sizes, per_k, lru)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    for name, (sizes, per_k, lru) in results.items():
+        rows = []
+        for s in sizes:
+            row = [int(s)]
+            for k in KS:
+                row += [
+                    round(float(per_k[k]["actual"](s)), 4),
+                    round(float(per_k[k]["krr"](s)), 4),
+                    round(float(per_k[k]["krr_spatial"](s)), 4),
+                ]
+            row.append(round(float(lru(s)), 4))
+            rows.append(row)
+        headers = ["size"]
+        for k in KS:
+            headers += [f"sim(K={k})", f"KRR(K={k})", f"KRR+S(K={k})"]
+        headers.append("LRU")
+        blocks.append(
+            render_table(headers, rows, title=f"Figure 5.1 — {name}", width=11)
+        )
+    write_result("fig5_1_actual_vs_pred", "\n\n".join(blocks))
+
+    # Reproduction checks: predicted ~= actual for every K; the small-K
+    # curves differ from LRU on at least one trace (the motivation).
+    gap_from_lru = 0.0
+    for name, (sizes, per_k, lru) in results.items():
+        for k in KS:
+            actual = per_k[k]["actual"]
+            assert mean_absolute_error(actual, per_k[k]["krr"]) < 0.02, (name, k)
+            # Spatial error scales as 1/sqrt(sampled objects); at our
+            # scaled-down working sets (~2.5k sampled) that budget is ~0.08
+            # (the paper's 8k-object floor gives ~1e-3..1e-2).
+            assert mean_absolute_error(actual, per_k[k]["krr_spatial"]) < 0.08, (
+                name,
+                k,
+            )
+        gap_from_lru = max(
+            gap_from_lru, mean_absolute_error(per_k[1]["actual"], lru)
+        )
+    assert gap_from_lru > 0.03

@@ -1,0 +1,51 @@
+"""Figure 5.2 — trace families: Type A (K-sensitive) vs Type B (K-insensitive).
+
+Paper's claim: some traces (ycsb E, msr src1/src2/web/proj, tw 34.1) show a
+significant LRU-vs-K=1 gap, so K-LRU MRCs fan out (Type A); others
+(msr usr, ycsb C a=0.99, tw 45.0) yield nearly identical MRCs for every K
+(Type B).  All Type-A traces exhibit a significant LRU <-> K=1 gap.
+"""
+
+from repro.analysis import classify_trace, render_table
+
+from _common import msr_trace, twitter_trace, write_result, ycsb_trace
+
+N = 50_000
+
+TYPE_A = [
+    ("ycsb_E_a1.5", lambda: ycsb_trace("E", 1.5, n_requests=N)),
+    ("msr_src1", lambda: msr_trace("src1", n_requests=N)),
+    ("msr_src2", lambda: msr_trace("src2", n_requests=N)),
+    ("msr_web", lambda: msr_trace("web", n_requests=N)),
+    ("msr_proj", lambda: msr_trace("proj", n_requests=N)),
+    ("tw_cluster34.1", lambda: twitter_trace("cluster34.1", variable_size=False, n_requests=N)),
+]
+TYPE_B = [
+    ("msr_usr", lambda: msr_trace("usr", n_requests=N)),
+    ("ycsb_C_a0.99", lambda: ycsb_trace("C", 0.99, n_requests=N)),
+    ("tw_cluster45.0", lambda: twitter_trace("cluster45.0", variable_size=False, n_requests=N)),
+]
+
+
+def test_fig5_2_type_a_vs_type_b(benchmark):
+    def run():
+        rows = []
+        verdicts = {}
+        for expected, group in (("A", TYPE_A), ("B", TYPE_B)):
+            for name, build in group:
+                c = classify_trace(build(), seed=3)
+                rows.append([name, round(c.gap, 4), c.family, expected])
+                verdicts[name] = (c.family, expected)
+        return rows, verdicts
+
+    rows, verdicts = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = render_table(
+        ["trace", "K1<->LRU gap", "classified", "paper family"],
+        rows,
+        title="Figure 5.2 — Type A / Type B classification",
+        width=14,
+    )
+    write_result("fig5_2_type_ab", table)
+
+    mismatches = {n: v for n, v in verdicts.items() if v[0] != v[1]}
+    assert not mismatches, mismatches

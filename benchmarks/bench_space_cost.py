@@ -1,0 +1,71 @@
+"""§5.6 — space cost of the KRR stack.
+
+Paper's accounting: 68 bytes per tracked object (stack slot + hash entry +
+auxiliaries), +4 bytes for var-KRR sizes, and the sizeArray is negligible;
+with spatial sampling at rate R the overhead is ``72 * R / avg_object_size``
+of the working set — 0.036% for R=0.001 and 200-byte objects.
+
+We reproduce the accounting model (exact) and verify the sizeArray really
+is logarithmic, then report the spatially sampled footprint for a real run.
+"""
+
+from repro import KRRModel
+from repro.analysis import render_table
+from repro.core.krr import KRRStack
+from repro.workloads import twitter
+
+from _common import write_result
+
+
+def test_space_cost(benchmark):
+    trace = twitter.make_trace("cluster26.0", 100_000, scale=0.4, seed=21)
+
+    def run():
+        rows = []
+        # Paper's closed-form example: 100M objects, R=0.001, 200-B objects.
+        tracked = 100_000_000 * 0.001
+        overhead = 72 * tracked
+        working_set = 100_000_000 * 200
+        rows.append(
+            ["paper example (closed form)", int(tracked), int(overhead),
+             round(overhead / working_set * 100, 4)]
+        )
+
+        # Measured: full KRR stack on the trace.
+        full = KRRModel(k=5, track_sizes=True, seed=3)
+        full.process(trace)
+        stack = full._stack
+        rows.append(
+            ["var-KRR full", len(stack), stack.memory_estimate_bytes(),
+             round(stack.memory_estimate_bytes() / trace.footprint_bytes() * 100, 4)]
+        )
+
+        # Measured: spatially sampled stack.
+        rate = 0.05
+        sampled = KRRModel(k=5, track_sizes=True, sampling_rate=rate, seed=3)
+        sampled.process(trace)
+        sstack = sampled._stack
+        rows.append(
+            [f"var-KRR R={rate}", len(sstack), sstack.memory_estimate_bytes(),
+             round(sstack.memory_estimate_bytes() / trace.footprint_bytes() * 100, 4)]
+        )
+        anchors = len(sstack._size_array.anchors)
+        return rows, len(stack), len(sstack), anchors
+
+    rows, full_n, sampled_n, anchors = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = render_table(
+        ["configuration", "objects", "overhead(B)", "% of working set"],
+        rows,
+        title="§5.6 — KRR stack space cost",
+        width=26,
+    )
+    write_result("space_cost", table)
+
+    # Spatial sampling shrinks tracked state roughly by the rate.
+    assert sampled_n < 0.15 * full_n
+    # sizeArray is logarithmic in the stack size.
+    import math
+
+    assert anchors <= math.log2(max(2, sampled_n)) + 2
+    # Paper's headline number: 0.036% for the closed-form example.
+    assert rows[0][3] == 0.036

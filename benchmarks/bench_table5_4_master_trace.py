@@ -1,0 +1,59 @@
+"""Table 5.4 — merged MSR "master" trace: KRR+spatial vs SHARDS runtime.
+
+Paper's table (spatial rate 0.001): top-down+spatial 39.1s,
+backward+spatial 22.4s, SHARDS 19.7s — i.e. backward KRR is in the same
+league as SHARDS (which only models exact LRU), top-down ~2x slower.
+
+Scale substitution: the interleaved 13-server master trace at 13 x 30k
+requests, spatial rate chosen by the scaled-down rate rule.  KRR times are
+averaged across K in {1, 2, 4, 8, 16, 32} exactly as in the paper.
+"""
+
+import time
+
+from repro import KRRModel
+from repro.analysis import render_table
+from repro.baselines import Shards
+from repro.workloads import msr
+
+from _common import sampling_rate_for, write_result
+
+KS = (1, 2, 4, 8, 16, 32)
+
+
+def test_table5_4_master_trace(benchmark):
+    trace = msr.make_master_trace(n_requests_per_server=30_000, scale=0.12)
+    rate = sampling_rate_for(trace)
+
+    def run():
+        times = {"topdown+spatial": [], "backward+spatial": []}
+        for strategy in ("topdown", "backward"):
+            for k in KS:
+                model = KRRModel(k=k, strategy=strategy, sampling_rate=rate, seed=6)
+                t0 = time.perf_counter()
+                model.process(trace)
+                times[f"{strategy}+spatial"].append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        Shards(rate=rate, seed=0).process(trace).mrc()
+        shards_t = time.perf_counter() - t0
+        return times, shards_t
+
+    times, shards_t = benchmark.pedantic(run, rounds=1, iterations=1)
+    avg = {m: sum(ts) / len(ts) for m, ts in times.items()}
+    rows = [
+        ["topdown+spatial", round(avg["topdown+spatial"], 3)],
+        ["backward+spatial", round(avg["backward+spatial"], 3)],
+        ["SHARDS", round(shards_t, 3)],
+    ]
+    table = render_table(
+        ["method", "avg time(s)"],
+        rows,
+        title=f"Table 5.4 — master trace ({len(trace)} requests, rate={rate:.3g})",
+        width=18,
+    )
+    write_result("table5_4_master_trace", table)
+
+    # Backward+spatial within a small factor of SHARDS; topdown slower than
+    # backward (the paper reports ~2x).
+    assert avg["backward+spatial"] < 6 * shards_t
+    assert avg["topdown+spatial"] > avg["backward+spatial"]

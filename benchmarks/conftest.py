@@ -1,0 +1,3 @@
+"""Benchmark-suite configuration: collect bench_*.py files."""
+
+collect_ignore_glob = ["results/*"]

@@ -1,0 +1,80 @@
+"""Multi-tenant cache partitioning from KRR-predicted MRCs (LAMA-style).
+
+Scenario: one Redis cluster serves four applications with very different
+locality.  Splitting memory evenly wastes it — the right split equalizes
+*marginal* benefit, which requires each tenant's miss ratio curve.  KRR
+predicts all four curves in one pass each (the cache is sampling-LRU, so
+exact-LRU curves would mis-rank the tenants), and the optimizer does the
+rest.  The winning split is validated by simulating all tenants at their
+allocations.
+
+Run:  python examples/multi_tenant_partitioning.py
+"""
+
+from repro import model_trace
+from repro.partition import (
+    Tenant,
+    equal_partition,
+    greedy_partition,
+    optimal_partition_dp,
+)
+from repro.simulator import KLRUCache, run_trace
+from repro.workloads import Trace, msr
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+K = 5
+BUDGET = 6_000  # total cache objects to split
+
+
+def build_tenants() -> list[tuple[Trace, float]]:
+    """(trace, request-rate weight) per application."""
+    return [
+        (Trace(ScrambledZipfGenerator(3_000, 1.3, rng=1).sample(60_000),
+               name="session-store"), 3.0),   # hot, heavily skewed, busy
+        (Trace(ScrambledZipfGenerator(8_000, 0.6, rng=2).sample(60_000),
+               name="catalog"), 1.0),          # wide, mildly skewed
+        (msr.make_trace("src2", 60_000, scale=0.15, seed=3), 1.5),  # loopy
+        (Trace(ScrambledZipfGenerator(1_000, 1.8, rng=4).sample(60_000),
+               name="feature-flags"), 0.5),    # tiny working set
+    ]
+
+
+def main() -> None:
+    workloads = build_tenants()
+    tenants = []
+    for trace, rate in workloads:
+        curve = model_trace(trace, k=K, seed=7).mrc()
+        tenants.append(Tenant(trace.name, curve, request_rate=rate))
+        print(f"modeled {trace.name:14s} ({trace.unique_objects()} objects, "
+              f"weight {rate})")
+
+    plans = {
+        "equal split": equal_partition(tenants, BUDGET),
+        "greedy": greedy_partition(tenants, BUDGET, unit=50),
+        "optimal DP": optimal_partition_dp(tenants, BUDGET, unit=100),
+    }
+    print(f"\n{'plan':>12} | " +
+          " | ".join(f"{t.name:>14}" for t in tenants) + " | weighted miss")
+    for name, plan in plans.items():
+        cells = " | ".join(f"{plan.allocations[t.name]:>14}" for t in tenants)
+        print(f"{name:>12} | {cells} | {plan.total_miss_cost:.4f}")
+
+    # Validate the greedy plan against the naive split by simulation.
+    def simulate(plan):
+        total = 0.0
+        for (trace, rate), tenant in zip(workloads, tenants):
+            cap = max(1, plan.allocations[tenant.name])
+            cache = KLRUCache(cap, K, rng=11)
+            run_trace(cache, trace)
+            total += rate * cache.stats.miss_ratio
+        return total
+
+    sim_eq = simulate(plans["equal split"])
+    sim_gr = simulate(plans["greedy"])
+    print(f"\nsimulated weighted miss — equal: {sim_eq:.4f}, "
+          f"optimized: {sim_gr:.4f} "
+          f"({(1 - sim_gr / sim_eq):.1%} fewer weighted misses)")
+
+
+if __name__ == "__main__":
+    main()

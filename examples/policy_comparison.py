@@ -1,0 +1,60 @@
+"""Comparing sampled eviction policies (the paper's future work, working).
+
+Scenario: Redis exposes ``allkeys-lru`` and ``allkeys-lfu``; Hyperbolic
+caching and LHD generalize the idea — all are "sample K, evict the worst
+by some priority".  Which priority wins depends on the workload.  This
+example sweeps four sampled policies over two contrasting workloads and
+prints their MRCs side by side, plus the OPT (Belady) lower bound.
+
+Run:  python examples/policy_comparison.py
+"""
+
+import numpy as np
+
+from repro.policies import compare_policies
+from repro.stack import opt_mrc
+from repro.workloads import Trace, patterns
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+POLICIES = ("lru", "lfu", "hyperbolic", "fifo")
+
+
+def frequency_skewed_trace() -> Trace:
+    """A stable hot set + one-off scan traffic: LFU's home turf."""
+    hot = ScrambledZipfGenerator(500, 1.3, rng=1).sample(40_000)
+    scan = patterns.sequential_scan(10_000, 8_000)
+    mixed = patterns.interleave_streams([hot, scan], [0.84, 0.16], rng=2)
+    return Trace(mixed, name="hot-set+scan")
+
+
+def shifting_trace() -> Trace:
+    """Popularity drifts over time: frequency history misleads LFU."""
+    phases = [
+        ScrambledZipfGenerator(800, 1.2, rng=10 + i).sample(12_000) + i * 500
+        for i in range(4)
+    ]
+    return Trace(patterns.mix_phases(phases), name="drifting-popularity")
+
+
+def main() -> None:
+    for trace in (frequency_skewed_trace(), shifting_trace()):
+        print(f"\n=== {trace.name}: {len(trace)} requests, "
+              f"{trace.unique_objects()} objects ===")
+        curves = compare_policies(trace, POLICIES, k=5, n_points=8, rng=3)
+        opt = opt_mrc(trace)
+        sizes = curves["lru"].sizes
+        header = f"{'size':>8} | " + " | ".join(f"{p:>10}" for p in POLICIES) + \
+                 f" | {'OPT':>10}"
+        print(header)
+        for s in sizes:
+            row = f"{int(s):8d} | " + " | ".join(
+                f"{float(curves[p](s)):10.3f}" for p in POLICIES
+            ) + f" | {float(opt(s)):10.3f}"
+            print(row)
+        mid = sizes[len(sizes) // 2]
+        best = min(POLICIES, key=lambda p: float(curves[p](mid)))
+        print(f"best sampled policy at {int(mid)} objects: {best}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` on this offline box falls back to the legacy
+`setup.py develop` path (--no-use-pep517); all real metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Online control built on KRR: the DLRU adaptive sampling-size cache."""
+
+from .dlru import DEFAULT_CANDIDATES, AdaptiveKLRUCache, RetuneEvent
+
+__all__ = ["AdaptiveKLRUCache", "DEFAULT_CANDIDATES", "RetuneEvent"]

@@ -1,0 +1,19 @@
+"""Analysis helpers: trace classification, table rendering."""
+
+from .classify import Classification, classify_curves, classify_trace
+from .locality import average_footprint, hotl_mrc, working_set_curve
+from .plot import ascii_plot, sparkline
+from .tables import render_series, render_table
+
+__all__ = [
+    "Classification",
+    "ascii_plot",
+    "average_footprint",
+    "sparkline",
+    "classify_curves",
+    "classify_trace",
+    "hotl_mrc",
+    "render_series",
+    "render_table",
+    "working_set_curve",
+]

@@ -1,0 +1,71 @@
+"""Type A / Type B trace classification (§5.3).
+
+The paper splits workloads into two families by how much the eviction
+sampling size matters: *Type A* traces show a notable gap between the
+random-replacement (K=1) and exact-LRU MRCs, so K-LRU MRCs fan out between
+them; *Type B* traces yield nearly identical MRCs for every K.  The
+classifier measures that K=1 ↔ LRU gap directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import RngLike
+from ..mrc.curve import MissRatioCurve
+from ..mrc.metrics import curve_gap
+from ..core.model import KRRModel
+from ..stack.lru_stack import lru_histograms
+from ..mrc.builder import from_distance_histogram
+from ..workloads.trace import Trace
+
+#: Average-gap threshold separating the families.  The paper does not give a
+#: number; 0.045 (4.5 miss-ratio points averaged over the size range) cleanly
+#: separates scan/loop-dominated traces (gaps >= 0.06 in our suites) from
+#: smooth skewed-reuse traces (gaps <= 0.035, including Zipfian IRM, whose
+#: LRU-vs-random gap is real but modest).
+DEFAULT_THRESHOLD = 0.045
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Result of :func:`classify_trace`."""
+
+    trace_name: str
+    gap: float
+    threshold: float
+
+    @property
+    def family(self) -> str:
+        return "A" if self.gap >= self.threshold else "B"
+
+    @property
+    def k_sensitive(self) -> bool:
+        """True when sampling size materially changes the miss ratio."""
+        return self.family == "A"
+
+
+def classify_curves(
+    k1_curve: MissRatioCurve,
+    lru_curve: MissRatioCurve,
+    threshold: float = DEFAULT_THRESHOLD,
+    name: str = "",
+) -> Classification:
+    """Classify from precomputed K=1 and LRU curves."""
+    return Classification(name, curve_gap(k1_curve, lru_curve), threshold)
+
+
+def classify_trace(
+    trace: Trace,
+    threshold: float = DEFAULT_THRESHOLD,
+    seed: RngLike = 0,
+) -> Classification:
+    """Classify a trace using one KRR(K=1) pass and one exact-LRU pass.
+
+    Both models are one-pass and exact enough for the purpose; no
+    simulation sweep is needed, so classification is cheap (O(N logM)).
+    """
+    k1 = KRRModel(k=1, correction=False, seed=seed).process(trace).mrc()
+    obj_hist, _ = lru_histograms(trace)
+    lru = from_distance_histogram(obj_hist, label="LRU")
+    return classify_curves(k1, lru, threshold, name=trace.name)

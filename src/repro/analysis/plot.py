@@ -1,0 +1,78 @@
+"""Terminal (ASCII) plotting for miss ratio curves.
+
+The library runs in trace-processing environments without display servers
+or plotting stacks; a braille/block-character terminal plot is enough to
+eyeball curve shapes, crossovers and model-vs-truth agreement.  Used by
+``repro model --plot`` and handy in examples and notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..mrc.curve import MissRatioCurve
+
+#: Glyphs used for successive curves in one chart.
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    curves: Sequence[MissRatioCurve],
+    width: int = 72,
+    height: int = 18,
+    x_label: str | None = None,
+) -> str:
+    """Render one or more MRCs into a fixed-size character grid.
+
+    All curves share the x-range [min size, max size over curves] and the
+    y-range [0, 1].  Later curves overdraw earlier ones where they collide.
+    """
+    if not curves:
+        raise ValueError("need at least one curve")
+    if width < 16 or height < 4:
+        raise ValueError("plot area too small")
+    lo = min(float(c.sizes[0]) for c in curves)
+    hi = max(c.max_size() for c in curves)
+    if hi <= lo:
+        hi = lo + 1
+    xs = np.linspace(lo, hi, width)
+
+    grid = [[" "] * width for _ in range(height)]
+    for ci, curve in enumerate(curves):
+        marker = _MARKERS[ci % len(_MARKERS)]
+        ys = np.clip(curve(xs), 0.0, 1.0)
+        rows = np.round((1.0 - ys) * (height - 1)).astype(int)
+        for col, row in enumerate(rows):
+            grid[row][col] = marker
+
+    lines = []
+    for r, row in enumerate(grid):
+        y_val = 1.0 - r / (height - 1)
+        label = f"{y_val:4.2f} |" if r % max(1, height // 6) == 0 or r == height - 1 else "     |"
+        lines.append(label + "".join(row))
+    lines.append("     +" + "-" * width)
+    left = f"{lo:.3g}"
+    right = f"{hi:.3g}"
+    pad = " " * max(1, width - len(left) - len(right))
+    lines.append("      " + left + pad + right)
+    if x_label:
+        lines.append(f"      ({x_label})")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {c.label or f'curve {i}'}"
+        for i, c in enumerate(curves)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], lo: float = 0.0, hi: float = 1.0) -> str:
+    """One-line block sparkline of a value series (e.g. miss ratios)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    vals = np.asarray(values, dtype=np.float64)
+    if vals.size == 0:
+        return ""
+    span = hi - lo if hi > lo else 1.0
+    idx = np.clip(((vals - lo) / span) * (len(blocks) - 1), 0, len(blocks) - 1)
+    return "".join(blocks[int(i)] for i in np.round(idx))

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark scripts print the same rows the paper's tables report; this
+module keeps the formatting in one place (fixed-width columns, scientific
+or fixed notation per cell type).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_cell(value, width: int = 10) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            text = "0"
+        elif abs(value) < 1e-3 or abs(value) >= 1e5:
+            text = f"{value:.2e}"
+        else:
+            text = f"{value:.4g}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    width: int = 12,
+) -> str:
+    """Render a fixed-width table with an optional title."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.rjust(width) for h in headers)
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(" | ".join(format_cell(c, width) for c in row))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "size",
+    y_label: str = "miss_ratio",
+    max_points: int = 12,
+) -> str:
+    """Render an MRC-style series, thinned to ``max_points`` rows."""
+    n = len(xs)
+    if n == 0:
+        return f"{name}: (empty)"
+    step = max(1, n // max_points)
+    rows = [(xs[i], ys[i]) for i in range(0, n, step)]
+    if (n - 1) % step:
+        rows.append((xs[-1], ys[-1]))
+    body = render_table([x_label, y_label], rows, title=name)
+    return body

@@ -1,0 +1,20 @@
+"""Exact-LRU MRC baselines the paper compares against (and motivates past)."""
+
+from .aet import AETModel, aet_mrc
+from .counterstacks import CounterStacks, counterstacks_mrc
+from .hll import HyperLogLog
+from .shards import FixedSizeShards, Shards, shards_mrc
+from .statstack import StatStackModel, statstack_mrc
+
+__all__ = [
+    "AETModel",
+    "CounterStacks",
+    "FixedSizeShards",
+    "HyperLogLog",
+    "Shards",
+    "StatStackModel",
+    "aet_mrc",
+    "counterstacks_mrc",
+    "shards_mrc",
+    "statstack_mrc",
+]

@@ -1,0 +1,145 @@
+"""Counter Stacks: LRU MRCs from cardinality counters (Wires et al., OSDI'14).
+
+§6.1's compressed-stack baseline.  The stream is processed in chunks of
+``downsample`` requests; a new HyperLogLog counter starts at every chunk
+boundary and every alive counter ingests every request.  For an access in
+chunk ``t`` to an object last touched in chunk ``i``, exactly the counters
+started *after* chunk ``i`` increment — so the per-chunk increment profile
+across counters recovers how many accesses had their previous access in
+each earlier chunk, and the value of the counter started just after that
+chunk is their (unique-reference) stack distance.
+
+Pruning merges adjacent counters whose cardinalities have converged
+(they would keep producing identical columns), bounding memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import check_positive
+from ..mrc.builder import from_distance_histogram
+from ..mrc.curve import MissRatioCurve
+from ..stack.histogram import DistanceHistogram
+from ..workloads.trace import Trace
+from .hll import HyperLogLog
+
+
+@dataclass
+class _Counter:
+    hll: HyperLogLog
+    prev_value: float  # cardinality at the previous chunk boundary
+
+
+class CounterStacks:
+    """Streaming Counter Stacks estimator."""
+
+    def __init__(
+        self,
+        downsample: int = 1_000,
+        precision: int = 11,
+        prune_ratio: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        check_positive("downsample", downsample)
+        if not 0 <= prune_ratio < 1:
+            raise ValueError("prune_ratio must be in [0, 1)")
+        self.downsample = int(downsample)
+        self.precision = int(precision)
+        self.prune_ratio = float(prune_ratio)
+        self._seed = int(seed)
+        self._counters: list[_Counter] = []
+        self._hist = DistanceHistogram()
+        self._buffer: list[int] = []
+        self.requests_seen = 0
+
+    def access(self, key: int, size: int = 1) -> None:
+        self._buffer.append(int(key))
+        self.requests_seen += 1
+        if len(self._buffer) >= self.downsample:
+            self._flush_chunk()
+
+    def process(self, trace: Trace) -> "CounterStacks":
+        for key in trace.keys:
+            self.access(int(key))
+        return self
+
+    def finish(self) -> None:
+        """Flush a trailing partial chunk (call before :meth:`mrc`)."""
+        if self._buffer:
+            self._flush_chunk()
+
+    # ------------------------------------------------------------------
+    def _flush_chunk(self) -> None:
+        chunk = np.asarray(self._buffer, dtype=np.int64)
+        self._buffer.clear()
+        # A counter born at this chunk boundary sees the chunk too.
+        self._counters.append(
+            _Counter(HyperLogLog(self.precision, self._seed), 0.0)
+        )
+        for c in self._counters:
+            c.hll.add_many(chunk)
+        values = np.array([c.hll.cardinality() for c in self._counters])
+        incs = np.array([v - c.prev_value for v, c in zip(values, self._counters)])
+        incs = np.maximum(incs, 0.0)
+        n = len(self._counters)
+        # Oldest counter's increment = cold (never seen anywhere) accesses.
+        cold = incs[0]
+        finite_total = 0.0
+        for i in range(n - 1):
+            count = max(0.0, incs[i + 1] - incs[i])
+            if count <= 0:
+                continue
+            distance = max(1.0, values[i + 1])
+            self._record_weighted(distance, count)
+            finite_total += count
+        # Remainder: re-references within the current chunk (increment no
+        # counter).  Their distance is bounded by the chunk's distinct count.
+        remainder = chunk.shape[0] - cold - finite_total
+        if remainder > 0:
+            intra = max(1.0, values[-1] / 2.0)
+            self._record_weighted(intra, remainder)
+        self._record_cold_weighted(cold)
+        for v, c in zip(values, self._counters):
+            c.prev_value = float(v)
+        self._prune(values)
+
+    def _record_weighted(self, distance: float, count: float) -> None:
+        d = max(1, int(round(distance)))
+        for _ in range(int(round(count))):
+            self._hist.record(d)
+
+    def _record_cold_weighted(self, count: float) -> None:
+        for _ in range(int(round(count))):
+            self._hist.record_cold()
+
+    def _prune(self, values: np.ndarray) -> None:
+        """Drop the younger of adjacent counters that have converged."""
+        if self.prune_ratio <= 0 or len(self._counters) < 3:
+            return
+        keep: list[_Counter] = [self._counters[0]]
+        last_val = values[0]
+        for c, v in zip(self._counters[1:-1], values[1:-1]):
+            if last_val - v >= self.prune_ratio * max(1.0, last_val):
+                keep.append(c)
+                last_val = v
+        keep.append(self._counters[-1])  # always keep the newest
+        self._counters = keep
+
+    # ------------------------------------------------------------------
+    def mrc(self, max_size: int | None = None, label: str = "CounterStacks") -> MissRatioCurve:
+        self.finish()
+        return from_distance_histogram(self._hist, max_size=max_size, label=label)
+
+
+def counterstacks_mrc(
+    trace: Trace,
+    downsample: int = 1_000,
+    precision: int = 11,
+    prune_ratio: float = 0.02,
+    seed: int = 0,
+) -> MissRatioCurve:
+    """Convenience: Counter Stacks MRC for one trace."""
+    return CounterStacks(downsample, precision, prune_ratio, seed).process(trace).mrc()

@@ -1,0 +1,108 @@
+"""HyperLogLog cardinality counters (built from scratch).
+
+Counter Stacks (§6.1) replaces exact per-window unique-reference counters
+with probabilistic cardinality counters; this is that substrate.  Standard
+HLL (Flajolet et al. 2007): hash each item, use ``p`` leading bits to pick
+a register, track the max leading-zero run of the remainder, and estimate
+``alpha_m * m^2 / sum(2^-M_j)`` with small- and large-range corrections.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..sampling.hashing import splitmix64
+
+
+def _alpha(m: int) -> float:
+    if m == 16:
+        return 0.673
+    if m == 32:
+        return 0.697
+    if m == 64:
+        return 0.709
+    return 0.7213 / (1.0 + 1.079 / m)
+
+
+class HyperLogLog:
+    """HLL counter with ``2**precision`` one-byte registers.
+
+    ``precision`` in [4, 18]; standard error is about ``1.04 / sqrt(2^p)``.
+    Supports union (register-wise max), which Counter Stacks uses to prune.
+    """
+
+    __slots__ = ("precision", "m", "registers", "_seed")
+
+    def __init__(self, precision: int = 11, seed: int = 0) -> None:
+        if not 4 <= precision <= 18:
+            raise ValueError("precision must be in [4, 18]")
+        self.precision = int(precision)
+        self.m = 1 << self.precision
+        self.registers = np.zeros(self.m, dtype=np.uint8)
+        self._seed = int(seed)
+
+    def add(self, item: int) -> None:
+        """Insert one integer item."""
+        h = int(splitmix64(int(item), self._seed))
+        idx = h >> (64 - self.precision)
+        rest = (h << self.precision) & ((1 << 64) - 1)
+        # Leading-zero run of the remaining 64-p bits, plus one.
+        if rest == 0:
+            rank = 64 - self.precision + 1
+        else:
+            rank = min(64 - self.precision, 64 - rest.bit_length()) + 1
+        if rank > self.registers[idx]:
+            self.registers[idx] = rank
+
+    def add_many(self, items: np.ndarray) -> None:
+        """Vectorized bulk insert."""
+        h = splitmix64(np.asarray(items, dtype=np.int64), self._seed)
+        idx = (h >> np.uint64(64 - self.precision)).astype(np.int64)
+        rest = (h << np.uint64(self.precision)) & np.uint64(0xFFFFFFFFFFFFFFFF)
+        # Leading zeros of `rest`: 64 - bit_length(rest).
+        bl = np.zeros(rest.shape, dtype=np.int64)
+        tmp = rest.copy()
+        for shift in (32, 16, 8, 4, 2, 1):
+            mask = tmp >= (np.uint64(1) << np.uint64(shift))
+            bl[mask] += shift
+            tmp[mask] >>= np.uint64(shift)
+        bl[rest > 0] += 1  # bit_length
+        rank = np.where(
+            rest == 0,
+            64 - self.precision + 1,
+            np.minimum(64 - self.precision, 64 - bl) + 1,
+        ).astype(np.uint8)
+        np.maximum.at(self.registers, idx, rank)
+
+    def cardinality(self) -> float:
+        """Estimated number of distinct items inserted."""
+        regs = self.registers.astype(np.float64)
+        est = _alpha(self.m) * self.m * self.m / np.sum(np.exp2(-regs))
+        if est <= 2.5 * self.m:
+            zeros = int(np.count_nonzero(self.registers == 0))
+            if zeros:
+                return self.m * math.log(self.m / zeros)  # linear counting
+        two64 = 2.0**64
+        if est > two64 / 30.0:
+            return -two64 * math.log1p(-est / two64)
+        return float(est)
+
+    def union(self, other: "HyperLogLog") -> "HyperLogLog":
+        """Counter for the union of the two insert streams."""
+        if self.precision != other.precision or self._seed != other._seed:
+            raise ValueError("can only union HLLs with equal precision and seed")
+        out = HyperLogLog(self.precision, self._seed)
+        np.maximum(self.registers, other.registers, out=out.registers)
+        return out
+
+    def copy(self) -> "HyperLogLog":
+        out = HyperLogLog(self.precision, self._seed)
+        out.registers[:] = self.registers
+        return out
+
+    @property
+    def relative_error(self) -> float:
+        """Theoretical standard error ``1.04/sqrt(m)``."""
+        return 1.04 / math.sqrt(self.m)

@@ -1,0 +1,249 @@
+"""Command-line interface: generate traces, model MRCs, simulate, compare.
+
+Usage (also via ``python -m repro``):
+
+    repro generate --suite msr --preset src1 -n 100000 -o trace.csv
+    repro info trace.csv
+    repro model trace.csv --k 5 --rate 0.01 -o mrc.csv
+    repro simulate trace.csv --policy lru --k 5 --points 10
+    repro compare trace.csv --k 5 --points 8
+    repro classify trace.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _load_trace(path: str):
+    from .workloads import io
+
+    p = Path(path)
+    if p.suffix == ".npz":
+        return io.load_npz(p)
+    return io.load_csv(p)
+
+
+def _write_curve(curve, out: str | None) -> None:
+    lines = ["size,miss_ratio"]
+    lines += [f"{s:.0f},{m:.6f}" for s, m in curve.to_rows()]
+    text = "\n".join(lines)
+    if out:
+        Path(out).write_text(text + "\n")
+        print(f"wrote {len(curve)} points to {out}")
+    else:
+        print(text)
+
+
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    from .workloads import io, msr, twitter, ycsb
+
+    if args.suite == "msr":
+        trace = msr.make_trace(
+            args.preset, args.requests, seed=args.seed,
+            variable_size=args.variable_size, scale=args.scale,
+        )
+    elif args.suite == "twitter":
+        trace = twitter.make_trace(
+            args.preset, args.requests, seed=args.seed,
+            variable_size=args.variable_size, scale=args.scale,
+        )
+    elif args.suite == "ycsb":
+        if args.preset.upper() == "C":
+            trace = ycsb.workload_c(
+                args.objects, args.requests, args.alpha, rng=args.seed
+            )
+        elif args.preset.upper() == "E":
+            n_scans = max(1, args.requests // 500)
+            trace = ycsb.workload_e(
+                args.objects, n_scans, args.alpha,
+                max_scan_length=min(args.objects, 1000), rng=args.seed,
+            )
+        else:
+            print(f"unknown YCSB workload {args.preset!r} (use C or E)",
+                  file=sys.stderr)
+            return 2
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+
+    out = Path(args.output)
+    if out.suffix == ".npz":
+        io.save_npz(trace, out)
+    else:
+        io.save_csv(trace, out)
+    print(f"wrote {trace.name}: {len(trace)} requests, "
+          f"{trace.unique_objects()} objects -> {out}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from .workloads.stats import profile_trace
+
+    trace = _load_trace(args.trace)
+    print(f"name            : {trace.name}")
+    print(f"requests        : {len(trace)}")
+    print(f"distinct objects: {trace.unique_objects()}")
+    print(f"footprint       : {trace.footprint_bytes()} bytes")
+    print(f"mean object size: {trace.mean_object_size():.1f} bytes")
+    print(f"uniform sizes   : {trace.is_uniform_size()}")
+    if args.profile:
+        for label, value in profile_trace(trace).as_rows():
+            print(f"{label:18s}: {value}")
+    return 0
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    from .core.model import model_trace
+
+    trace = _load_trace(args.trace)
+    rate = args.rate if args.rate and args.rate < 1.0 else None
+    result = model_trace(
+        trace,
+        k=args.k,
+        strategy=args.strategy,
+        sampling_rate=rate,
+        correction=not args.no_correction,
+        track_sizes=args.bytes or None,
+        seed=args.seed,
+    )
+    curve = result.byte_mrc() if args.bytes else result.mrc()
+    stats = result.stats
+    print(f"# K={args.k} strategy={args.strategy} rate={rate or 1.0} "
+          f"sampled={stats.requests_sampled}/{stats.requests_seen} "
+          f"swaps/update={stats.mean_swaps_per_update:.1f}",
+          file=sys.stderr)
+    if args.plot:
+        from .analysis.plot import ascii_plot
+
+        print(ascii_plot([curve], x_label=f"cache size ({curve.unit})"))
+        return 0
+    _write_curve(curve, args.output)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from .policies.mrc import sampled_policy_mrc
+
+    trace = _load_trace(args.trace)
+    curve = sampled_policy_mrc(
+        trace, args.policy, k=args.k, n_points=args.points,
+        ttl=args.ttl, rng=args.seed,
+    )
+    _write_curve(curve, args.output)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from .core.model import model_trace
+    from .mrc.metrics import mean_absolute_error
+    from .simulator.sweep import klru_mrc
+
+    trace = _load_trace(args.trace)
+    truth = klru_mrc(trace, args.k, n_points=args.points, rng=args.seed)
+    pred = model_trace(trace, k=args.k, seed=args.seed).mrc()
+    mae = mean_absolute_error(truth, pred)
+    print(f"{'size':>12} {'simulated':>10} {'KRR':>10}")
+    for s, m in truth.to_rows():
+        print(f"{s:12.0f} {m:10.4f} {float(pred(s)):10.4f}")
+    print(f"MAE = {mae:.5f}")
+    return 0 if mae < args.fail_above else 1
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    from .analysis.classify import classify_trace
+
+    trace = _load_trace(args.trace)
+    c = classify_trace(trace, seed=args.seed)
+    print(f"{trace.name}: K1<->LRU gap = {c.gap:.4f} -> Type {c.family} "
+          f"({'K-sensitive' if c.k_sensitive else 'K-insensitive'})")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KRR: model random sampling-based LRU caches (ICPP'21).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a synthetic trace")
+    g.add_argument("--suite", choices=["msr", "twitter", "ycsb"], required=True)
+    g.add_argument("--preset", required=True,
+                   help="msr server / twitter cluster / ycsb workload (C|E)")
+    g.add_argument("-n", "--requests", type=int, default=100_000)
+    g.add_argument("--objects", type=int, default=10_000,
+                   help="object count (ycsb only)")
+    g.add_argument("--alpha", type=float, default=0.99, help="zipf skew (ycsb)")
+    g.add_argument("--scale", type=float, default=0.25,
+                   help="object-count scale (msr/twitter)")
+    g.add_argument("--variable-size", action="store_true")
+    g.add_argument("--seed", type=int, default=1)
+    g.add_argument("-o", "--output", required=True, help=".csv or .npz path")
+    g.set_defaults(func=cmd_generate)
+
+    i = sub.add_parser("info", help="print trace statistics")
+    i.add_argument("trace")
+    i.add_argument("--profile", action="store_true",
+                   help="add the structural profile (skew, sequentiality, reuse)")
+    i.set_defaults(func=cmd_info)
+
+    m = sub.add_parser("model", help="one-pass KRR MRC prediction")
+    m.add_argument("trace")
+    m.add_argument("--k", type=int, default=5, help="eviction sampling size")
+    m.add_argument("--strategy", choices=["backward", "topdown", "linear"],
+                   default="backward")
+    m.add_argument("--rate", type=float, default=None,
+                   help="spatial sampling rate (omit or 1.0 = no sampling)")
+    m.add_argument("--bytes", action="store_true",
+                   help="byte-granularity curve (var-KRR)")
+    m.add_argument("--no-correction", action="store_true",
+                   help="disable the K'=K^1.4 correction")
+    m.add_argument("--seed", type=int, default=0)
+    m.add_argument("-o", "--output", default=None, help="CSV output path")
+    m.add_argument("--plot", action="store_true",
+                   help="render an ASCII plot instead of CSV")
+    m.set_defaults(func=cmd_model)
+
+    s = sub.add_parser("simulate", help="ground-truth sweep for any policy")
+    s.add_argument("trace")
+    s.add_argument("--policy", default="lru",
+                   help="lru|lfu|hyperbolic|hyperbolic-size|hit-density|fifo")
+    s.add_argument("--k", type=int, default=5)
+    s.add_argument("--points", type=int, default=10)
+    s.add_argument("--ttl", type=int, default=None,
+                   help="object TTL in requests")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("-o", "--output", default=None)
+    s.set_defaults(func=cmd_simulate)
+
+    c = sub.add_parser("compare", help="KRR vs simulated K-LRU (MAE)")
+    c.add_argument("trace")
+    c.add_argument("--k", type=int, default=5)
+    c.add_argument("--points", type=int, default=8)
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--fail-above", type=float, default=1.0,
+                   help="exit nonzero if MAE exceeds this")
+    c.set_defaults(func=cmd_compare)
+
+    cl = sub.add_parser("classify", help="Type A/B (K-sensitivity) classification")
+    cl.add_argument("trace")
+    cl.add_argument("--seed", type=int, default=0)
+    cl.set_defaults(func=cmd_classify)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""The sampling-size correction ``K' ~= K^1.4`` (§4.2).
+
+KRR orders objects by recency only at coarse granularity, so compared to
+true K-LRU it is slightly biased toward evicting *more* recently used
+objects.  The paper compensates by running KRR with a larger effective
+sampling size ``K' > K``; empirically ``K' = K^1.4`` tracks K-LRU best.
+The exponent is exposed so the ablation bench can sweep it.
+"""
+
+from __future__ import annotations
+
+#: The paper's empirically chosen correction exponent.
+DEFAULT_EXPONENT = 1.4
+
+
+def corrected_k(k: float, exponent: float = DEFAULT_EXPONENT) -> float:
+    """Effective KRR parameter ``K' = K**exponent`` for target K-LRU ``K``.
+
+    ``K = 1`` maps to itself for every exponent (KRR with ``K=1`` *is*
+    statistically identical to random replacement, so no correction is
+    needed or possible there).
+    """
+    if k < 1:
+        raise ValueError("K must be >= 1")
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    return float(k) ** exponent
+
+
+def uncorrected_k(k_prime: float, exponent: float = DEFAULT_EXPONENT) -> float:
+    """Inverse map: the K-LRU sampling size a given ``K'`` models."""
+    if k_prime < 1:
+        raise ValueError("K' must be >= 1")
+    return float(k_prime) ** (1.0 / exponent)

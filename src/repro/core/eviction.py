@@ -1,0 +1,165 @@
+"""Eviction-probability mathematics for random-sampling caches (Chapter 3).
+
+Closed forms for the probability that the rank-``d`` object is the one
+evicted when ``K`` residents are sampled from a cache of size ``C``:
+
+* **Proposition 1** (with replacement, Redis-style):
+  ``Q(d) = (d^K - (d-1)^K) / C^K``
+* **Proposition 2** (without replacement):
+  ``Q(d) = C(d-1, K-1) / C(C, K)`` for ``d >= K``, else 0.
+
+Plus the KRR building blocks derived from them: per-position survival
+probability ``((i-1)/i)^K`` (Eq. 4.1), the eviction CDF ``(i/C)^K`` and its
+inverse (the backward update's draw, Algorithm 2), and the expected
+swap-position count of Corollary 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._util import check_positive, check_sampling_size
+
+
+def eviction_prob_with_replacement(d, cache_size: int, k: int):
+    """Proposition 1: eviction probability of rank ``d`` (1-based, 1 = safest).
+
+    Accepts a scalar or array ``d``; vectorized.  Uses float exponentiation
+    via ``exp(K * log d)`` differences computed stably for large ``C``.
+    """
+    check_positive("cache_size", cache_size)
+    k = check_sampling_size(k)
+    d_arr = np.asarray(d, dtype=np.float64)
+    if np.any(d_arr < 1) or np.any(d_arr > cache_size):
+        raise ValueError("ranks must lie in [1, cache_size]")
+    c = float(cache_size)
+    return (d_arr / c) ** k - ((d_arr - 1) / c) ** k
+
+
+def eviction_prob_without_replacement(d, cache_size: int, k: int):
+    """Proposition 2: eviction probability of rank ``d`` without placing back.
+
+    Zero for ``d < K`` (the K-1 lower-ranked must all be sampled alongside).
+    Computed in log space to stay finite for large ``C``.
+    """
+    check_positive("cache_size", cache_size)
+    k = check_sampling_size(k)
+    if k > cache_size:
+        raise ValueError("K cannot exceed cache size when sampling without replacement")
+    d_arr = np.atleast_1d(np.asarray(d, dtype=np.int64))
+    if np.any(d_arr < 1) or np.any(d_arr > cache_size):
+        raise ValueError("ranks must lie in [1, cache_size]")
+    out = np.zeros(d_arr.shape, dtype=np.float64)
+    log_denom = _log_comb(cache_size, k)
+    mask = d_arr >= k
+    dm = d_arr[mask]
+    if dm.size:
+        log_num = np.array([_log_comb(int(x) - 1, k - 1) for x in dm])
+        out[mask] = np.exp(log_num - log_denom)
+    return out if np.ndim(d) else float(out[0])
+
+
+def _log_comb(n: int, r: int) -> float:
+    if r < 0 or r > n:
+        return float("-inf")
+    return math.lgamma(n + 1) - math.lgamma(r + 1) - math.lgamma(n - r + 1)
+
+
+def stay_probability(i, k: float):
+    """KRR survival probability of the position-``i`` resident: ``((i-1)/i)^K``.
+
+    Under Assumption 1 the object at stack position ``i`` has rank ``i`` in a
+    cache of size ``i``; Proposition 1 then gives eviction probability
+    ``(i^K - (i-1)^K)/i^K``, whose complement this returns.  ``k`` may be
+    fractional (the K' correction).
+    """
+    if k <= 0:
+        raise ValueError("K must be positive")
+    i_arr = np.asarray(i, dtype=np.float64)
+    if np.any(i_arr < 1):
+        raise ValueError("stack positions are 1-based")
+    return ((i_arr - 1) / i_arr) ** k
+
+
+def swap_probability(i, k: float):
+    """Probability that position ``i`` is a swap position: ``1 - ((i-1)/i)^K``."""
+    return 1.0 - stay_probability(i, k)
+
+
+def no_swap_probability_interval(start: int, end: int, k: float) -> float:
+    """Probability that *no* position in ``[start, end]`` swaps.
+
+    The per-position survival probabilities telescope:
+    ``prod_{i=start}^{end} ((i-1)/i)^K = ((start-1)/end)^K`` — the identity
+    the top-down update's interval splitting relies on (§4.3.1).
+    """
+    if start < 1 or end < start:
+        raise ValueError(f"invalid interval [{start}, {end}]")
+    if k <= 0:
+        raise ValueError("K must be positive")
+    return ((start - 1) / end) ** k
+
+
+def eviction_cdf(i, cache_size: int, k: float):
+    """CDF of the evicted rank under KRR: ``P(X <= i) = (i/C)^K`` (§4.3.2)."""
+    check_positive("cache_size", cache_size)
+    i_arr = np.asarray(i, dtype=np.float64)
+    return (i_arr / cache_size) ** k
+
+
+def inverse_eviction_cdf(u, cache_size: int, k: float):
+    """Inverse CDF draw: rank ``ceil(u^(1/K) * C)`` for uniform ``u`` in (0,1].
+
+    This is the backward update's core step with ``C = i - 1``.  Vectorized;
+    clamps into ``[1, C]`` for safety at the floating-point edges.
+    """
+    check_positive("cache_size", cache_size)
+    if k <= 0:
+        raise ValueError("K must be positive")
+    u_arr = np.asarray(u, dtype=np.float64)
+    ranks = np.ceil(u_arr ** (1.0 / k) * cache_size)
+    return np.clip(ranks, 1, cache_size).astype(np.int64)
+
+
+def expected_swap_positions(phi: int, k: float) -> float:
+    """Exact expectation of Corollary 1's swap count over positions 1..phi-1.
+
+    ``E = sum_{i=1}^{phi-1} (1 - ((i-1)/i)^K)`` — computed directly; the
+    corollary bounds it by ``O(K log M)``.  Position ``phi`` itself is always
+    a swap, so a full update displaces ``E + 1`` slots on average.
+    """
+    if phi < 1:
+        raise ValueError("phi must be >= 1")
+    if phi == 1:
+        return 0.0
+    i = np.arange(1, phi, dtype=np.float64)
+    return float(np.sum(1.0 - ((i - 1) / i) ** k))
+
+
+def expected_swap_positions_bound(phi: int, k: float) -> float:
+    """Corollary 1's analytic upper bound ``~ 1 + K * ln(phi)``.
+
+    The thesis's integral bound: ``E(beta) <= 1 + K ln(phi - 1)`` for
+    ``phi >= 2`` (the first position always swaps; the remaining terms
+    integrate to ``K ln``).  Useful for asserting the scaling shape.
+    """
+    if phi <= 2:
+        return 1.0
+    return 1.0 + k * math.log(phi - 1)
+
+
+def krr_eviction_prob(i, cache_size: int, k: float):
+    """Equation 4.2: eviction probability of the position-``i`` object.
+
+    The telescoping product over positions ``i..C`` collapses to exactly the
+    K-LRU (with replacement) form ``(i^K - (i-1)^K)/C^K`` — the identity
+    establishing KRR ≈ K-LRU under Assumption 1 (§4.2).
+    """
+    check_positive("cache_size", cache_size)
+    if k <= 0:
+        raise ValueError("K must be positive")
+    i_arr = np.asarray(i, dtype=np.float64)
+    c = float(cache_size)
+    return (i_arr / c) ** k - ((i_arr - 1) / c) ** k

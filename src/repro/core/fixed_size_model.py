@@ -1,0 +1,117 @@
+"""Bounded-memory KRR: fixed-size (``s_max``) spatial sampling.
+
+The fixed-rate model's memory grows with the workload's sampled working
+set.  SHARDS's ``s_max`` mode caps it: track at most ``s_max`` distinct
+objects; when a new object would exceed the cap, eject the tracked object
+with the largest key hash and lower the threshold below it.  Ejected
+objects leave the KRR stack (``KRRStack.remove``), and every recorded
+distance is rescaled by the sampling rate *in effect when it was measured*.
+
+This gives a hard O(s_max) memory bound for indefinite online operation —
+the deployment mode §5.6's space numbers assume.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .._util import RngLike, check_positive, check_sampling_size, ensure_rng
+from ..mrc.curve import MissRatioCurve
+from ..sampling.spatial import FixedSizeSpatialSampler
+from ..stack.histogram import ByteDistanceHistogram, DistanceHistogram
+from ..workloads.trace import Trace
+from .correction import DEFAULT_EXPONENT, corrected_k
+from .krr import KRRStack
+
+
+class FixedSizeKRRModel:
+    """One-pass K-LRU MRC model with an O(s_max) memory bound.
+
+    Parameters mirror :class:`~repro.core.model.KRRModel`; ``s_max`` caps
+    the tracked distinct objects instead of a fixed sampling rate.
+    """
+
+    def __init__(
+        self,
+        k: int = 5,
+        s_max: int = 8_192,
+        strategy: str = "backward",
+        correction: bool = True,
+        correction_exponent: float = DEFAULT_EXPONENT,
+        track_sizes: bool = False,
+        byte_bin: int = 4096,
+        seed: RngLike = None,
+        hash_seed: int = 0,
+    ) -> None:
+        self.k = check_sampling_size(k)
+        check_positive("s_max", s_max)
+        self.effective_k = (
+            corrected_k(self.k, correction_exponent) if correction else float(self.k)
+        )
+        self._stack = KRRStack(
+            self.effective_k,
+            strategy=strategy,
+            rng=ensure_rng(seed),
+            track_sizes=track_sizes,
+        )
+        self._sampler = FixedSizeSpatialSampler(
+            s_max, seed=hash_seed, on_evict=self._stack.remove
+        )
+        self._track_sizes = bool(track_sizes)
+        self._byte_bin = int(byte_bin)
+        # (distance, byte_distance, rate at measurement time)
+        self._raw: List[Tuple[int, float, float]] = []
+        self.requests_seen = 0
+        self.requests_sampled = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def rate(self) -> float:
+        """Current (monotonically non-increasing) sampling rate."""
+        return self._sampler.rate
+
+    @property
+    def tracked_objects(self) -> int:
+        return len(self._stack)
+
+    def access(self, key: int, size: int = 1) -> None:
+        self.requests_seen += 1
+        if not self._sampler.offer(key):
+            return
+        self.requests_sampled += 1
+        dist, byte_dist = self._stack.access(key, size)
+        self._raw.append((dist, byte_dist, self._sampler.rate))
+
+    def process(self, trace: Trace) -> "FixedSizeKRRModel":
+        keys = trace.keys
+        sizes = trace.sizes
+        for i in range(keys.shape[0]):
+            self.access(int(keys[i]), int(sizes[i]))
+        return self
+
+    # ------------------------------------------------------------------
+    def mrc(self, max_size: int | None = None, label: str | None = None) -> MissRatioCurve:
+        from ..mrc.builder import from_distance_histogram
+
+        hist = DistanceHistogram()
+        for dist, _, rate in self._raw:
+            if dist <= 0:
+                hist.record_cold()
+            else:
+                hist.record(max(1, int(round(dist / rate))))
+        return from_distance_histogram(
+            hist, max_size=max_size, label=label or f"KRR-smax(K={self.k})"
+        )
+
+    def byte_mrc(self, label: str | None = None) -> MissRatioCurve:
+        if not self._track_sizes:
+            raise RuntimeError("byte_mrc requires track_sizes=True")
+        from ..mrc.builder import from_byte_histogram
+
+        hist = ByteDistanceHistogram(bin_bytes=self._byte_bin)
+        for dist, byte_dist, rate in self._raw:
+            if dist <= 0:
+                hist.record_cold()
+            else:
+                hist.record(byte_dist / rate)
+        return from_byte_histogram(hist, label=label or f"var-KRR-smax(K={self.k})")

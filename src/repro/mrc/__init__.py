@@ -1,0 +1,16 @@
+"""Miss-ratio-curve toolkit: curves, builders, error metrics."""
+
+from .builder import from_byte_histogram, from_distance_histogram, from_points
+from .curve import MissRatioCurve, evaluation_grid
+from .metrics import curve_gap, max_absolute_error, mean_absolute_error
+
+__all__ = [
+    "MissRatioCurve",
+    "curve_gap",
+    "evaluation_grid",
+    "from_byte_histogram",
+    "from_distance_histogram",
+    "from_points",
+    "max_absolute_error",
+    "mean_absolute_error",
+]

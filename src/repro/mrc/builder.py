@@ -1,0 +1,49 @@
+"""Histogram → MissRatioCurve constructors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..stack.histogram import ByteDistanceHistogram, DistanceHistogram
+from .curve import MissRatioCurve
+
+
+def from_distance_histogram(
+    hist: DistanceHistogram,
+    max_size: int | None = None,
+    label: str = "",
+) -> MissRatioCurve:
+    """Object-granularity MRC from a stack-distance histogram.
+
+    Cache size 0 (always missing) is dropped from the grid so downstream
+    interpolation starts at size 1.
+    """
+    sizes, ratios = hist.miss_ratio_curve(max_size=max_size)
+    return MissRatioCurve(sizes[1:], ratios[1:], unit="objects", label=label)
+
+
+def from_byte_histogram(
+    hist: ByteDistanceHistogram,
+    label: str = "",
+) -> MissRatioCurve:
+    """Byte-granularity MRC from a byte-distance histogram."""
+    sizes, ratios = hist.miss_ratio_curve()
+    # Size 0 means an empty cache: keep it out of the interpolation grid.
+    if sizes[0] == 0 and sizes.shape[0] > 1:
+        sizes, ratios = sizes[1:], ratios[1:]
+    return MissRatioCurve(sizes, ratios, unit="bytes", label=label)
+
+
+def from_points(
+    sizes,
+    miss_ratios,
+    unit: str = "objects",
+    label: str = "",
+) -> MissRatioCurve:
+    """MRC from explicit (size, ratio) points (e.g. simulation sweeps)."""
+    return MissRatioCurve(
+        np.asarray(sizes, dtype=np.float64),
+        np.asarray(miss_ratios, dtype=np.float64),
+        unit=unit,
+        label=label,
+    )

@@ -1,0 +1,54 @@
+"""MRC error metrics — the paper's MAE plus a few diagnostics."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .curve import MissRatioCurve
+
+
+def mean_absolute_error(
+    actual: MissRatioCurve,
+    predicted: MissRatioCurve,
+    sizes: Sequence[float] | None = None,
+) -> float:
+    """The paper's MAE (§5.3): mean |actual - predicted| over cache sizes.
+
+    By default the comparison grid is the *actual* curve's own sizes (the
+    simulated cache sizes), matching "the mean of miss ratio differences
+    across all simulated cache sizes".
+    """
+    if actual.unit != predicted.unit:
+        raise ValueError(
+            f"cannot compare MRCs with units {actual.unit!r} and {predicted.unit!r}"
+        )
+    grid = np.asarray(sizes, dtype=np.float64) if sizes is not None else actual.sizes
+    return float(np.mean(np.abs(actual(grid) - predicted(grid))))
+
+
+def max_absolute_error(
+    actual: MissRatioCurve,
+    predicted: MissRatioCurve,
+    sizes: Sequence[float] | None = None,
+) -> float:
+    """Worst-case miss ratio gap over the comparison grid."""
+    if actual.unit != predicted.unit:
+        raise ValueError("unit mismatch")
+    grid = np.asarray(sizes, dtype=np.float64) if sizes is not None else actual.sizes
+    return float(np.max(np.abs(actual(grid) - predicted(grid))))
+
+
+def curve_gap(a: MissRatioCurve, b: MissRatioCurve, n_points: int = 64) -> float:
+    """Average gap between two curves over their shared size range.
+
+    Used by the Type-A/Type-B classifier: the gap between the K=1 and
+    exact-LRU MRCs is what separates the paper's two trace families.
+    """
+    if a.unit != b.unit:
+        raise ValueError("unit mismatch")
+    hi = min(a.max_size(), b.max_size())
+    lo = hi / n_points
+    grid = np.linspace(lo, hi, n_points)
+    return float(np.mean(np.abs(a(grid) - b(grid))))

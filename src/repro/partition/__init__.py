@@ -1,0 +1,19 @@
+"""Cache partitioning over KRR-predicted MRCs (the LAMA/pRedis use case)."""
+
+from .optimizer import (
+    PartitionResult,
+    Tenant,
+    equal_partition,
+    greedy_partition,
+    miss_cost_of,
+    optimal_partition_dp,
+)
+
+__all__ = [
+    "PartitionResult",
+    "Tenant",
+    "equal_partition",
+    "greedy_partition",
+    "miss_cost_of",
+    "optimal_partition_dp",
+]

@@ -1,0 +1,36 @@
+"""Sampled-eviction policy family (the paper's stated future work).
+
+K-LRU generalizes: sample K residents, evict the lowest-*priority* one.
+This package provides the generic cache (:class:`SampledPolicyCache`),
+priority functions for LFU / hyperbolic / hit-density / FIFO (with TTL
+support), and MRC construction for all of them via exact sweeps or
+miniature simulation.
+"""
+
+from .base import ByteSampledPolicyCache, ObjectRecord, SampledPolicyCache
+from .mrc import compare_policies, miniature_policy_mrc, sampled_policy_mrc
+from .priorities import (
+    PRIORITIES,
+    fifo_priority,
+    hit_density_priority,
+    hyperbolic_priority,
+    hyperbolic_size_priority,
+    lfu_priority,
+    lru_priority,
+)
+
+__all__ = [
+    "ByteSampledPolicyCache",
+    "ObjectRecord",
+    "PRIORITIES",
+    "SampledPolicyCache",
+    "compare_policies",
+    "fifo_priority",
+    "hit_density_priority",
+    "hyperbolic_priority",
+    "hyperbolic_size_priority",
+    "lfu_priority",
+    "lru_priority",
+    "miniature_policy_mrc",
+    "sampled_policy_mrc",
+]

@@ -1,0 +1,243 @@
+"""Generic random-sampling replacement: sample K residents, evict by priority.
+
+The paper's conclusion names this as future work: "other random-sampling
+policies which use other metrics, such as access frequency and object
+expiration time, as priority functions."  This package implements that
+family.  :class:`SampledPolicyCache` is the shared machinery — an O(1)
+resident set, with-replacement sampling, and a pluggable priority function
+— and the sibling modules instantiate it for LFU, hyperbolic caching
+(Blankstein et al., ATC'17) and GDSF-style size-aware priorities.
+
+A *priority function* maps an object's bookkeeping record to a float; the
+sampled candidate with the **lowest** priority is evicted (matching Redis,
+which evicts the lowest LRU clock / LFU counter among the sample).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .._util import RngLike, check_positive, check_sampling_size, ensure_rng
+from ..simulator.base import CacheStats
+from ..simulator.klru import _ResidentSet
+
+
+@dataclass
+class ObjectRecord:
+    """Per-resident bookkeeping shared by all sampled policies."""
+
+    key: int
+    size: int
+    insert_time: int
+    last_access: int
+    frequency: int
+    expire_at: Optional[int] = None  # TTL support (requests, not seconds)
+
+
+#: Priority function signature: (record, now) -> float; lowest is evicted.
+PriorityFn = Callable[[ObjectRecord, int], float]
+
+
+class SampledPolicyCache:
+    """A cache that evicts the lowest-priority object among K samples.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident objects (use :class:`ByteSampledPolicyCache` for
+        byte budgets).
+    k:
+        Eviction sampling size.
+    priority:
+        The policy's priority function; see module docstring.
+    ttl:
+        Optional time-to-live in *requests*: expired objects are treated as
+        misses on access and are preferred eviction victims.
+    ttl_mode:
+        ``"absolute"`` (default; Redis ``EXPIRE`` semantics — the clock
+        starts at insert/refresh and reads do not extend it) or
+        ``"sliding"`` (every hit renews the lease).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        k: int,
+        priority: PriorityFn,
+        ttl: Optional[int] = None,
+        ttl_mode: str = "absolute",
+        rng: RngLike = None,
+    ) -> None:
+        check_positive("capacity", capacity)
+        self.capacity = int(capacity)
+        self.k = check_sampling_size(k)
+        self.priority = priority
+        self.ttl = int(ttl) if ttl is not None else None
+        if self.ttl is not None and self.ttl < 1:
+            raise ValueError("ttl must be >= 1 request")
+        if ttl_mode not in ("absolute", "sliding"):
+            raise ValueError("ttl_mode must be 'absolute' or 'sliding'")
+        self.ttl_mode = ttl_mode
+        self._rnd = random.Random(int(ensure_rng(rng).integers(0, 2**63)))
+        self._residents = _ResidentSet()
+        self._records: dict[int, ObjectRecord] = {}
+        self._clock = 0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._residents)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._residents
+
+    def record_of(self, key: int) -> ObjectRecord:
+        return self._records[key]
+
+    def _expired(self, rec: ObjectRecord) -> bool:
+        return rec.expire_at is not None and self._clock >= rec.expire_at
+
+    # ------------------------------------------------------------------
+    def access(self, key: int, size: int = 1) -> bool:
+        self._clock += 1
+        rec = self._records.get(key)
+        if rec is not None and key in self._residents:
+            if self._expired(rec):
+                # Lazy expiration (Redis-style): the access misses and the
+                # object is refreshed in place.
+                self.stats.misses += 1
+                self._refresh(rec, size)
+                return False
+            rec.last_access = self._clock
+            rec.frequency += 1
+            rec.size = size
+            if self.ttl is not None and self.ttl_mode == "sliding":
+                rec.expire_at = self._clock + self.ttl
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(self._residents) >= self.capacity:
+            self._evict_one()
+        self._residents.add(key)
+        self._records[key] = ObjectRecord(
+            key=key,
+            size=size,
+            insert_time=self._clock,
+            last_access=self._clock,
+            frequency=1,
+            expire_at=(self._clock + self.ttl) if self.ttl else None,
+        )
+        return False
+
+    def _refresh(self, rec: ObjectRecord, size: int) -> None:
+        rec.size = size
+        rec.insert_time = self._clock
+        rec.last_access = self._clock
+        rec.frequency = 1
+        rec.expire_at = (self._clock + self.ttl) if self.ttl else None
+
+    def _evict_one(self) -> None:
+        residents = self._residents.keys
+        n = len(residents)
+        rnd = self._rnd
+        victim = None
+        best = None
+        for _ in range(self.k):
+            cand = residents[rnd.randrange(n)]
+            rec = self._records[cand]
+            # Expired objects are free wins for the evictor.
+            p = float("-inf") if self._expired(rec) else self.priority(rec, self._clock)
+            if best is None or p < best:
+                victim, best = cand, p
+        self._residents.remove(victim)
+        del self._records[victim]
+        self.stats.evictions += 1
+
+
+class ByteSampledPolicyCache(SampledPolicyCache):
+    """Byte-budget variant: evicts sampled victims until the insert fits."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        k: int,
+        priority: PriorityFn,
+        ttl: Optional[int] = None,
+        ttl_mode: str = "absolute",
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(1, k, priority, ttl, ttl_mode, rng)  # capacity unused
+        check_positive("capacity_bytes", capacity_bytes)
+        self.capacity_bytes = int(capacity_bytes)
+        self._used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def access(self, key: int, size: int = 1) -> bool:
+        self._clock += 1
+        rec = self._records.get(key)
+        if rec is not None and key in self._residents:
+            if self._expired(rec):
+                self.stats.misses += 1
+                self._used += size - rec.size
+                self._refresh(rec, size)
+                self._shrink(protect=key)
+                return False
+            rec.last_access = self._clock
+            rec.frequency += 1
+            if self.ttl is not None and self.ttl_mode == "sliding":
+                rec.expire_at = self._clock + self.ttl
+            if rec.size != size:
+                self._used += size - rec.size
+                rec.size = size
+                self._shrink(protect=key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if size > self.capacity_bytes:
+            return False
+        self._residents.add(key)
+        self._records[key] = ObjectRecord(
+            key=key,
+            size=size,
+            insert_time=self._clock,
+            last_access=self._clock,
+            frequency=1,
+            expire_at=(self._clock + self.ttl) if self.ttl else None,
+        )
+        self._used += size
+        self._shrink(protect=key)
+        return False
+
+    def _shrink(self, protect: int | None = None) -> None:
+        while self._used > self.capacity_bytes and len(self._residents) > 1:
+            self._evict_one_bytes(protect)
+
+    def _evict_one_bytes(self, protect: int | None) -> None:
+        residents = self._residents.keys
+        n = len(residents)
+        rnd = self._rnd
+        victim = None
+        best = None
+        for _ in range(self.k):
+            cand = residents[rnd.randrange(n)]
+            if cand == protect and n > 1:
+                continue
+            rec = self._records[cand]
+            p = float("-inf") if self._expired(rec) else self.priority(rec, self._clock)
+            if best is None or p < best:
+                victim, best = cand, p
+        if victim is None:
+            for cand in residents:
+                if cand != protect:
+                    victim = cand
+                    break
+        if victim is None:  # pragma: no cover
+            return
+        self._residents.remove(victim)
+        self._used -= self._records.pop(victim).size
+        self.stats.evictions += 1

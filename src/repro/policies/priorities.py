@@ -1,0 +1,71 @@
+"""Priority functions for sampled-eviction policies.
+
+Each returns a float where **lower means evict first**.  These instantiate
+the families named in the paper's conclusion (frequency, expiration) plus
+the two sampled function-based policies it cites from the literature
+(Hyperbolic caching, Blankstein et al. ATC'17; LHD-flavoured hit density).
+"""
+
+from __future__ import annotations
+
+from .base import ObjectRecord, PriorityFn
+
+
+def lru_priority(rec: ObjectRecord, now: int) -> float:
+    """Sampled LRU (== K-LRU): evict the least recently accessed."""
+    return float(rec.last_access)
+
+
+def lfu_priority(rec: ObjectRecord, now: int) -> float:
+    """Sampled LFU (Redis ``allkeys-lfu``-style): evict the least frequent.
+
+    Recency breaks frequency ties (a fresh object with count 1 outranks a
+    stale one with count 1), mirroring Redis's LFU counter decay intent
+    without modeling the decay clock.
+    """
+    return rec.frequency + rec.last_access * 1e-12
+
+
+def hyperbolic_priority(rec: ObjectRecord, now: int) -> float:
+    """Hyperbolic caching: priority = frequency / age.
+
+    An object's value decays hyperbolically with its time in cache; unlike
+    LFU it does not require an eviction-resistant early history.
+    """
+    age = max(1, now - rec.insert_time)
+    return rec.frequency / age
+
+
+def hyperbolic_size_priority(rec: ObjectRecord, now: int) -> float:
+    """Size-aware hyperbolic: frequency / (age * size) — cost-normalized."""
+    age = max(1, now - rec.insert_time)
+    return rec.frequency / (age * max(1, rec.size))
+
+
+def hit_density_priority(rec: ObjectRecord, now: int) -> float:
+    """LHD-flavoured hit density: expected hits per byte-request.
+
+    True LHD learns a per-class hit-density distribution online; this
+    lightweight proxy scores ``frequency / (age * size)`` with a recency
+    boost, capturing the same evict-big-cold-objects behavior the paper
+    cites LHD for.
+    """
+    age = max(1, now - rec.insert_time)
+    recency = max(1, now - rec.last_access)
+    return rec.frequency / (age * max(1, rec.size)) / recency
+
+
+def fifo_priority(rec: ObjectRecord, now: int) -> float:
+    """Sampled FIFO: evict the oldest insert (no recency update)."""
+    return float(rec.insert_time)
+
+
+#: Registry used by the CLI and the generic MRC helpers.
+PRIORITIES: dict[str, PriorityFn] = {
+    "lru": lru_priority,
+    "lfu": lfu_priority,
+    "hyperbolic": hyperbolic_priority,
+    "hyperbolic-size": hyperbolic_size_priority,
+    "hit-density": hit_density_priority,
+    "fifo": fifo_priority,
+}

@@ -1,0 +1,18 @@
+"""Spatial sampling substrate (SHARDS-style key-hash filters)."""
+
+from .hashing import hash_to_unit, splitmix64
+from .spatial import (
+    DEFAULT_MODULUS,
+    FixedSizeSpatialSampler,
+    SpatialSampler,
+    choose_rate,
+)
+
+__all__ = [
+    "DEFAULT_MODULUS",
+    "FixedSizeSpatialSampler",
+    "SpatialSampler",
+    "choose_rate",
+    "hash_to_unit",
+    "splitmix64",
+]

@@ -1,0 +1,42 @@
+"""Ground-truth cache simulators and simulation-sweep MRC builders."""
+
+from .base import CacheSimulator, CacheStats, run_trace
+from .klru import ByteKLRUCache, KLRUCache
+from .lru import ByteLRUCache, LRUCache
+from .mini import miniature_klru_mrc, miniature_lru_mrc
+from .parallel import parallel_klru_mrc
+from .redis_like import EVPOOL_SIZE, LRU_BITS, RedisLikeCache
+from .sweep import (
+    byte_klru_mrc,
+    byte_lru_mrc,
+    byte_size_grid,
+    klru_mrc,
+    lru_mrc,
+    object_size_grid,
+    redis_mrc,
+    sweep_mrc,
+)
+
+__all__ = [
+    "ByteKLRUCache",
+    "ByteLRUCache",
+    "CacheSimulator",
+    "CacheStats",
+    "EVPOOL_SIZE",
+    "KLRUCache",
+    "LRUCache",
+    "LRU_BITS",
+    "RedisLikeCache",
+    "byte_klru_mrc",
+    "byte_lru_mrc",
+    "byte_size_grid",
+    "klru_mrc",
+    "lru_mrc",
+    "miniature_klru_mrc",
+    "miniature_lru_mrc",
+    "object_size_grid",
+    "parallel_klru_mrc",
+    "redis_mrc",
+    "run_trace",
+    "sweep_mrc",
+]

@@ -1,0 +1,58 @@
+"""Cache-simulator protocol and shared statistics.
+
+Simulators reveal ground truth: unlike the one-pass stack models, a
+simulator runs one concrete cache size per pass (§5.1).  All simulators in
+this package implement :class:`CacheSimulator` — ``access(key, size)``
+returning hit/miss — and carry a :class:`CacheStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from ..workloads.trace import Trace
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one simulated cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        n = self.accesses
+        return self.misses / n if n else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        n = self.accesses
+        return self.hits / n if n else 0.0
+
+
+@runtime_checkable
+class CacheSimulator(Protocol):
+    """Anything that simulates a fixed-size cache over a request stream."""
+
+    stats: CacheStats
+
+    def access(self, key: int, size: int = 1) -> bool:
+        """Process one request; returns True on hit."""
+        ...
+
+
+def run_trace(sim: CacheSimulator, trace: Trace) -> CacheStats:
+    """Run a whole trace through a simulator; returns its stats."""
+    keys = trace.keys
+    sizes = trace.sizes
+    access = sim.access
+    for i in range(keys.shape[0]):
+        access(int(keys[i]), int(sizes[i]))
+    return sim.stats

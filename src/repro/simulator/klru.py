@@ -1,0 +1,230 @@
+"""K-LRU: random sampling-based LRU cache simulators (Chapter 3).
+
+On eviction the cache samples ``K`` residents uniformly (with "placing
+back", i.e. with replacement, as Redis does — or without, Proposition 2's
+variant) and evicts the least recently used of the sample.  Residents live
+in an array with a key→index map so sampling and swap-remove eviction are
+``O(1)``; recency is a monotone access counter.
+
+These simulators are the ground truth the KRR model is validated against
+(§5.3): run one per cache size and interpolate (see
+:mod:`repro.simulator.sweep`).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .._util import RngLike, check_positive, check_sampling_size, ensure_rng
+from .base import CacheStats
+
+
+class _ResidentSet:
+    """Array + index map: O(1) insert, remove, and uniform sampling."""
+
+    __slots__ = ("keys", "index")
+
+    def __init__(self) -> None:
+        self.keys: list[int] = []
+        self.index: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self.index
+
+    def add(self, key: int) -> None:
+        self.index[key] = len(self.keys)
+        self.keys.append(key)
+
+    def remove(self, key: int) -> None:
+        i = self.index.pop(key)
+        last = self.keys.pop()
+        if last != key:
+            self.keys[i] = last
+            self.index[last] = i
+
+
+class KLRUCache:
+    """K-LRU over a fixed number of objects.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident objects.
+    k:
+        Eviction sampling size (Redis's ``maxmemory-samples``; default 5).
+    with_replacement:
+        "Placing back" sampling (Redis semantics, Proposition 1) when True;
+        distinct-resident sampling (Proposition 2) when False.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        k: int = 5,
+        with_replacement: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        check_positive("capacity", capacity)
+        self.capacity = int(capacity)
+        self.k = check_sampling_size(k)
+        self.with_replacement = bool(with_replacement)
+        if not with_replacement and self.k > self.capacity:
+            raise ValueError("K cannot exceed capacity when sampling without replacement")
+        # A fast stdlib PRNG seeded from the (seedable) NumPy generator keeps
+        # the hot path cheap while staying reproducible.
+        self._rnd = random.Random(int(ensure_rng(rng).integers(0, 2**63)))
+        self._residents = _ResidentSet()
+        self._last_access: dict[int, int] = {}
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._residents)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._residents
+
+    def access(self, key: int, size: int = 1) -> bool:
+        self._clock += 1
+        if key in self._residents:
+            self._last_access[key] = self._clock
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(self._residents) >= self.capacity:
+            self._evict_one()
+        self._residents.add(key)
+        self._last_access[key] = self._clock
+        return False
+
+    def _evict_one(self) -> None:
+        residents = self._residents.keys
+        n = len(residents)
+        last = self._last_access
+        rnd = self._rnd
+        if self.with_replacement:
+            victim = residents[rnd.randrange(n)]
+            vt = last[victim]
+            for _ in range(self.k - 1):
+                cand = residents[rnd.randrange(n)]
+                ct = last[cand]
+                if ct < vt:
+                    victim, vt = cand, ct
+        else:
+            kk = min(self.k, n)
+            victim = None
+            vt = None
+            for i in rnd.sample(range(n), kk):
+                cand = residents[i]
+                ct = last[cand]
+                if vt is None or ct < vt:
+                    victim, vt = cand, ct
+        self._residents.remove(victim)
+        del self._last_access[victim]
+        self.stats.evictions += 1
+
+    def resident_keys(self) -> list[int]:
+        return list(self._residents.keys)
+
+
+class ByteKLRUCache:
+    """K-LRU over a byte budget (variable object sizes).
+
+    A miss (or a size-growing overwrite) evicts sampled-LRU victims until
+    the new object fits, mirroring Redis's eviction loop under
+    ``maxmemory``.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        k: int = 5,
+        with_replacement: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        check_positive("capacity_bytes", capacity_bytes)
+        self.capacity_bytes = int(capacity_bytes)
+        self.k = check_sampling_size(k)
+        self.with_replacement = bool(with_replacement)
+        self._rnd = random.Random(int(ensure_rng(rng).integers(0, 2**63)))
+        self._residents = _ResidentSet()
+        self._last_access: dict[int, int] = {}
+        self._sizes: dict[int, int] = {}
+        self._used = 0
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._residents)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._residents
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def access(self, key: int, size: int = 1) -> bool:
+        self._clock += 1
+        if key in self._residents:
+            self._last_access[key] = self._clock
+            old = self._sizes[key]
+            if old != size:
+                self._used += size - old
+                self._sizes[key] = size
+                self._evict_until_fits()
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if size > self.capacity_bytes:
+            return False
+        self._residents.add(key)
+        self._last_access[key] = self._clock
+        self._sizes[key] = size
+        self._used += size
+        self._evict_until_fits(protect=key)
+        return False
+
+    def _evict_until_fits(self, protect: int | None = None) -> None:
+        while self._used > self.capacity_bytes and len(self._residents) > 1:
+            self._evict_one(protect)
+
+    def _evict_one(self, protect: int | None = None) -> None:
+        residents = self._residents.keys
+        n = len(residents)
+        last = self._last_access
+        rnd = self._rnd
+        victim = None
+        vt = None
+        if self.with_replacement:
+            draws = self.k
+            for _ in range(draws):
+                cand = residents[rnd.randrange(n)]
+                if cand == protect and n > 1:
+                    continue
+                ct = last[cand]
+                if vt is None or ct < vt:
+                    victim, vt = cand, ct
+        else:
+            for i in rnd.sample(range(n), min(self.k, n)):
+                cand = residents[i]
+                if cand == protect and n > 1:
+                    continue
+                ct = last[cand]
+                if vt is None or ct < vt:
+                    victim, vt = cand, ct
+        if victim is None:
+            # All draws hit the protected key; fall back to any other resident.
+            for cand in residents:
+                if cand != protect:
+                    victim = cand
+                    break
+        if victim is None:  # pragma: no cover - single-resident cache
+            return
+        self._residents.remove(victim)
+        del self._last_access[victim]
+        self._used -= self._sizes.pop(victim)
+        self.stats.evictions += 1

@@ -1,0 +1,90 @@
+"""Exact LRU cache simulators (object- and byte-capacity)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .._util import check_positive
+from .base import CacheStats
+
+
+class LRUCache:
+    """Exact LRU over a fixed number of objects.
+
+    ``OrderedDict`` gives O(1) move-to-end and popitem — the classic
+    doubly-linked-list + hash LRU.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        check_positive("capacity", capacity)
+        self.capacity = int(capacity)
+        self._data: OrderedDict[int, int] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._data
+
+    def access(self, key: int, size: int = 1) -> bool:
+        data = self._data
+        if key in data:
+            data.move_to_end(key, last=True)  # most recent at the right end
+            data[key] = size
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        data[key] = size
+        if len(data) > self.capacity:
+            data.popitem(last=False)
+            self.stats.evictions += 1
+        return False
+
+
+class ByteLRUCache:
+    """Exact LRU over a byte budget (variable object sizes)."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        check_positive("capacity_bytes", capacity_bytes)
+        self.capacity_bytes = int(capacity_bytes)
+        self._data: OrderedDict[int, int] = OrderedDict()
+        self._used = 0
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._data
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def access(self, key: int, size: int = 1) -> bool:
+        data = self._data
+        old = data.get(key)
+        if old is not None:
+            data.move_to_end(key, last=True)
+            if old != size:
+                self._used += size - old
+                data[key] = size
+                self._evict_to_fit()
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if size > self.capacity_bytes:
+            # Object cannot fit at all: count the miss, do not cache.
+            return False
+        data[key] = size
+        self._used += size
+        self._evict_to_fit()
+        return False
+
+    def _evict_to_fit(self) -> None:
+        data = self._data
+        while self._used > self.capacity_bytes and data:
+            _, sz = data.popitem(last=False)
+            self._used -= sz
+            self.stats.evictions += 1

@@ -1,0 +1,162 @@
+"""Simulation sweeps: ground-truth MRCs from per-size cache runs (§5.1).
+
+"A simulator can only generate one miss ratio for a given cache size with
+one pass of the input trace" — so the ground-truth MRC is produced by
+running the simulator at a grid of cache sizes and interpolating.  These
+helpers build that grid (evenly spread over the working set, as in §5.3's
+40-size and §5.5's 25-size setups) and run the sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._util import RngLike, ensure_rng
+from ..mrc.builder import from_points
+from ..mrc.curve import MissRatioCurve, evaluation_grid
+from ..workloads.trace import Trace
+from .base import CacheSimulator, run_trace
+from .klru import ByteKLRUCache, KLRUCache
+from .lru import ByteLRUCache, LRUCache
+from .redis_like import RedisLikeCache
+
+SimulatorFactory = Callable[[int], CacheSimulator]
+
+
+def sweep_mrc(
+    trace: Trace,
+    factory: SimulatorFactory,
+    sizes: Sequence[int],
+    unit: str = "objects",
+    label: str = "",
+) -> MissRatioCurve:
+    """Run ``factory(size)`` over the trace for each size; build an MRC."""
+    sizes_arr = np.asarray(sorted(int(s) for s in sizes), dtype=np.int64)
+    if sizes_arr.size == 0:
+        raise ValueError("need at least one cache size")
+    ratios = np.empty(sizes_arr.shape[0], dtype=np.float64)
+    for i, size in enumerate(sizes_arr):
+        sim = factory(int(size))
+        stats = run_trace(sim, trace)
+        ratios[i] = stats.miss_ratio
+    return from_points(sizes_arr, ratios, unit=unit, label=label)
+
+
+def object_size_grid(trace: Trace, n_points: int = 40) -> np.ndarray:
+    """Cache sizes (objects) evenly spread over the trace's working set."""
+    grid = evaluation_grid(trace.working_set_size(), n_points)
+    return np.unique(np.maximum(1, np.round(grid))).astype(np.int64)
+
+
+def byte_size_grid(trace: Trace, n_points: int = 40) -> np.ndarray:
+    """Cache sizes (bytes) evenly spread over the trace's byte footprint."""
+    grid = evaluation_grid(trace.footprint_bytes(), n_points)
+    return np.unique(np.maximum(1, np.round(grid))).astype(np.int64)
+
+
+def klru_mrc(
+    trace: Trace,
+    k: int,
+    sizes: Sequence[int] | None = None,
+    n_points: int = 40,
+    with_replacement: bool = True,
+    rng: RngLike = None,
+    label: str | None = None,
+) -> MissRatioCurve:
+    """Ground-truth K-LRU MRC via simulation sweep (object capacity)."""
+    rng = ensure_rng(rng)
+    if sizes is None:
+        sizes = object_size_grid(trace, n_points)
+    seeds = rng.integers(0, 2**63, size=len(list(sizes)))
+    size_list = list(sizes)
+
+    def factory(size: int) -> CacheSimulator:
+        i = size_list.index(size)
+        return KLRUCache(size, k, with_replacement, rng=int(seeds[i]))
+
+    return sweep_mrc(trace, factory, size_list, "objects", label or f"K-LRU(K={k})")
+
+
+def byte_klru_mrc(
+    trace: Trace,
+    k: int,
+    sizes: Sequence[int] | None = None,
+    n_points: int = 40,
+    with_replacement: bool = True,
+    rng: RngLike = None,
+    label: str | None = None,
+) -> MissRatioCurve:
+    """Ground-truth K-LRU MRC via simulation sweep (byte capacity)."""
+    rng = ensure_rng(rng)
+    if sizes is None:
+        sizes = byte_size_grid(trace, n_points)
+    size_list = list(sizes)
+    seeds = rng.integers(0, 2**63, size=len(size_list))
+
+    def factory(size: int) -> CacheSimulator:
+        i = size_list.index(size)
+        return ByteKLRUCache(size, k, with_replacement, rng=int(seeds[i]))
+
+    return sweep_mrc(trace, factory, size_list, "bytes", label or f"K-LRU(K={k})")
+
+
+def lru_mrc(
+    trace: Trace,
+    sizes: Sequence[int] | None = None,
+    n_points: int = 40,
+    label: str = "LRU",
+) -> MissRatioCurve:
+    """Exact-LRU MRC via simulation sweep (object capacity).
+
+    Note: for exact LRU the one-pass stack algorithm
+    (:func:`repro.stack.lru_histograms`) is cheaper and exact at *every*
+    size; this sweep exists for apples-to-apples comparisons with the
+    K-LRU sweeps.
+    """
+    if sizes is None:
+        sizes = object_size_grid(trace, n_points)
+    return sweep_mrc(trace, lambda s: LRUCache(s), list(sizes), "objects", label)
+
+
+def byte_lru_mrc(
+    trace: Trace,
+    sizes: Sequence[int] | None = None,
+    n_points: int = 40,
+    label: str = "LRU",
+) -> MissRatioCurve:
+    """Exact-LRU MRC via simulation sweep (byte capacity)."""
+    if sizes is None:
+        sizes = byte_size_grid(trace, n_points)
+    return sweep_mrc(trace, lambda s: ByteLRUCache(s), list(sizes), "bytes", label)
+
+
+def redis_mrc(
+    trace: Trace,
+    sizes: Sequence[int] | None = None,
+    n_points: int = 50,
+    maxmemory_samples: int = 5,
+    clock_resolution: int = 1,
+    unbiased_sampling: bool = False,
+    rng: RngLike = None,
+    label: str = "Redis",
+) -> MissRatioCurve:
+    """Redis-like MRC (the paper's §5.7 runs 50 memory sizes)."""
+    rng = ensure_rng(rng)
+    if sizes is None:
+        sizes = object_size_grid(trace, n_points)
+    size_list = list(sizes)
+    seeds = rng.integers(0, 2**63, size=len(size_list))
+
+    def factory(size: int) -> CacheSimulator:
+        i = size_list.index(size)
+        return RedisLikeCache(
+            size,
+            maxmemory_samples=maxmemory_samples,
+            clock_resolution=clock_resolution,
+            unbiased_sampling=unbiased_sampling,
+            rng=int(seeds[i]),
+        )
+
+    return sweep_mrc(trace, factory, size_list, "objects", label)

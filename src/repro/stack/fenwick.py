@@ -1,0 +1,133 @@
+"""Binary indexed (Fenwick) trees: integer counts and byte weights.
+
+Used by the Olken-style exact LRU stack-distance oracle
+(:mod:`repro.stack.lru_stack`): positions are access timestamps, a set bit
+marks "this timestamp is some object's most recent access", and a prefix sum
+over timestamps newer than an object's last access is exactly its LRU stack
+distance.  The weighted variant stores byte sizes instead of 1s for exact
+byte-level distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FenwickTree:
+    """Fenwick tree over ``n`` slots supporting point add / prefix sum.
+
+    Slots are 0-indexed externally; all operations are ``O(log n)``.
+    Values are stored as ``int64`` (sufficient for counts and byte sums on
+    any trace this library handles).
+    """
+
+    __slots__ = ("n", "_tree")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self.n = int(n)
+        self._tree = np.zeros(self.n + 1, dtype=np.int64)
+
+    def add(self, i: int, delta: int) -> None:
+        """Add ``delta`` to slot ``i``."""
+        if not 0 <= i < self.n:
+            raise IndexError(f"index {i} out of range [0, {self.n})")
+        i += 1
+        tree = self._tree
+        while i <= self.n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, i: int) -> int:
+        """Sum of slots ``0..i`` inclusive.  ``i = -1`` returns 0."""
+        if i >= self.n:
+            raise IndexError(f"index {i} out of range [0, {self.n})")
+        total = 0
+        tree = self._tree
+        i += 1
+        while i > 0:
+            total += int(tree[i])
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of slots ``lo..hi`` inclusive (empty if ``lo > hi``)."""
+        if lo > hi:
+            return 0
+        return self.prefix_sum(hi) - (self.prefix_sum(lo - 1) if lo > 0 else 0)
+
+    def total(self) -> int:
+        """Sum over all slots."""
+        return self.prefix_sum(self.n - 1) if self.n else 0
+
+    def find_kth(self, k: int) -> int:
+        """Smallest index ``i`` with ``prefix_sum(i) >= k`` (1-based ``k``).
+
+        Requires all slot values non-negative.  Raises ``ValueError`` if
+        ``k`` exceeds the tree total.  ``O(log n)``.
+        """
+        if k <= 0:
+            raise ValueError("k must be >= 1")
+        pos = 0
+        remaining = k
+        bit = 1 << (self.n.bit_length())
+        tree = self._tree
+        while bit:
+            nxt = pos + bit
+            if nxt <= self.n and tree[nxt] < remaining:
+                pos = nxt
+                remaining -= int(tree[nxt])
+            bit >>= 1
+        if pos >= self.n:
+            raise ValueError(f"k={k} exceeds tree total {self.total()}")
+        return pos  # 0-indexed slot
+
+
+class GrowableFenwick:
+    """A Fenwick tree that grows geometrically as slots are appended.
+
+    The LRU distance oracle appends one slot per request; doubling the
+    backing array keeps amortized cost ``O(log n)`` without knowing the
+    trace length up front.
+    """
+
+    __slots__ = ("_ft", "_used")
+
+    def __init__(self, initial_capacity: int = 1024) -> None:
+        self._ft = FenwickTree(max(1, initial_capacity))
+        self._used = 0
+
+    def __len__(self) -> int:
+        return self._used
+
+    def append(self, value: int) -> int:
+        """Append a slot holding ``value``; returns its index."""
+        if self._used == self._ft.n:
+            old = self._ft
+            new = FenwickTree(old.n * 2)
+            # Rebuild from per-slot values (recoverable via range sums).
+            for i in range(old.n):
+                v = old.range_sum(i, i)
+                if v:
+                    new.add(i, v)
+            self._ft = new
+        idx = self._used
+        self._used += 1
+        if value:
+            self._ft.add(idx, value)
+        return idx
+
+    def add(self, i: int, delta: int) -> None:
+        if not 0 <= i < self._used:
+            raise IndexError(f"index {i} out of range [0, {self._used})")
+        self._ft.add(i, delta)
+
+    def suffix_sum(self, i: int) -> int:
+        """Sum of slots ``i..end`` (the "newer than timestamp i" query)."""
+        if self._used == 0:
+            return 0
+        return self._ft.range_sum(i, self._used - 1)
+
+    def total(self) -> int:
+        return self._ft.total() if self._used else 0

@@ -1,0 +1,180 @@
+"""Stack-distance histograms (object- and byte-granularity).
+
+A stack algorithm emits one stack distance per request; the histogram of
+those distances plus the cold-miss count is all an MRC needs: the miss
+ratio at cache size ``c`` is the probability of a distance greater than
+``c`` (§2.1).  :class:`DistanceHistogram` counts object-granularity
+distances exactly; :class:`ByteDistanceHistogram` buckets byte-level
+distances on a fixed-width grid.  Both support the ``1/R`` rescaling used
+with spatial sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+class DistanceHistogram:
+    """Exact counts of integer stack distances plus cold misses.
+
+    Distances are 1-based stack positions (distance ``d`` hits in any cache
+    of size ``>= d``).  Cold (first-ever) accesses are infinite-distance.
+    """
+
+    __slots__ = ("_counts", "_cold", "_total", "_scale")
+
+    def __init__(self, initial_capacity: int = 1024, scale: float = 1.0) -> None:
+        self._counts = np.zeros(max(1, initial_capacity), dtype=np.int64)
+        self._cold = 0
+        self._total = 0
+        self._scale = float(scale)
+
+    @property
+    def scale(self) -> float:
+        """Distance multiplier applied at MRC time (1/R for spatial sampling)."""
+        return self._scale
+
+    @scale.setter
+    def scale(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError("scale must be positive")
+        self._scale = float(value)
+
+    @property
+    def cold_misses(self) -> int:
+        return self._cold
+
+    @property
+    def total(self) -> int:
+        """Total recorded accesses (finite + cold)."""
+        return self._total
+
+    def record(self, distance: int) -> None:
+        """Record one access: ``distance >= 1``, or any value < 1 for cold."""
+        self._total += 1
+        if distance < 1:
+            self._cold += 1
+            return
+        if distance >= self._counts.shape[0]:
+            new_cap = max(self._counts.shape[0] * 2, distance + 1)
+            grown = np.zeros(new_cap, dtype=np.int64)
+            grown[: self._counts.shape[0]] = self._counts
+            self._counts = grown
+        self._counts[distance] += 1
+
+    def record_cold(self) -> None:
+        self.record(0)
+
+    def counts(self) -> np.ndarray:
+        """Counts indexed by distance (index 0 unused); trimmed copy."""
+        nz = np.flatnonzero(self._counts)
+        hi = int(nz[-1]) + 1 if nz.size else 1
+        return self._counts[:hi].copy()
+
+    def max_distance(self) -> int:
+        nz = np.flatnonzero(self._counts)
+        return int(nz[-1]) if nz.size else 0
+
+    def miss_ratio_curve(self, max_size: int | None = None):
+        """Miss ratios at cache sizes ``0..max_size`` (object granularity).
+
+        With spatial-sampling scale ``s``, a recorded distance ``d`` stands
+        for a true distance ``d*s`` and each recorded access for ``s``
+        accesses — the access weights cancel in the ratio, so only the
+        distance axis is stretched.
+        Returns ``(sizes, miss_ratios)`` arrays; see
+        :mod:`repro.mrc.builder` for the :class:`MissRatioCurve` wrapper.
+        """
+        counts = self.counts()
+        if self._total == 0:
+            raise ValueError("no accesses recorded")
+        scaled_d = np.round(np.arange(counts.shape[0]) * self._scale).astype(np.int64)
+        top = int(scaled_d[-1]) if counts.shape[0] > 1 else 1
+        if max_size is None:
+            max_size = top
+        hist = np.zeros(max_size + 2, dtype=np.int64)
+        clipped = np.minimum(scaled_d, max_size + 1)
+        np.add.at(hist, clipped, counts)
+        hist[0] = 0  # distance axis is 1-based
+        hits_by_size = np.cumsum(hist[: max_size + 1])
+        misses = self._total - hits_by_size
+        sizes = np.arange(max_size + 1, dtype=np.int64)
+        return sizes, misses / self._total
+
+
+class ByteDistanceHistogram:
+    """Byte-granularity stack distances bucketed on a fixed bin width.
+
+    ``bin_bytes`` trades resolution for memory; distances land in bucket
+    ``floor(d / bin_bytes)``.  The MRC is reported at bucket-boundary cache
+    sizes.
+    """
+
+    __slots__ = ("_bin", "_counts", "_cold", "_total", "_scale")
+
+    def __init__(self, bin_bytes: int = 4096, initial_buckets: int = 1024,
+                 scale: float = 1.0) -> None:
+        if bin_bytes < 1:
+            raise ValueError("bin_bytes must be >= 1")
+        self._bin = int(bin_bytes)
+        self._counts = np.zeros(max(1, initial_buckets), dtype=np.int64)
+        self._cold = 0
+        self._total = 0
+        self._scale = float(scale)
+
+    @property
+    def bin_bytes(self) -> int:
+        return self._bin
+
+    @property
+    def scale(self) -> float:
+        return self._scale
+
+    @scale.setter
+    def scale(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError("scale must be positive")
+        self._scale = float(value)
+
+    @property
+    def cold_misses(self) -> int:
+        return self._cold
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def record(self, distance_bytes: float) -> None:
+        """Record one access at byte distance ``distance_bytes`` (< 0 = cold)."""
+        self._total += 1
+        if distance_bytes < 0:
+            self._cold += 1
+            return
+        bucket = int(distance_bytes * self._scale) // self._bin
+        if bucket >= self._counts.shape[0]:
+            new_cap = max(self._counts.shape[0] * 2, bucket + 1)
+            grown = np.zeros(new_cap, dtype=np.int64)
+            grown[: self._counts.shape[0]] = self._counts
+            self._counts = grown
+        self._counts[bucket] += 1
+
+    def record_cold(self) -> None:
+        self.record(-1.0)
+
+    def miss_ratio_curve(self):
+        """``(sizes_bytes, miss_ratios)`` at bucket-boundary cache sizes.
+
+        A distance in bucket ``b`` hits once the cache holds at least
+        ``(b+1) * bin_bytes`` bytes (conservative upper boundary).
+        """
+        if self._total == 0:
+            raise ValueError("no accesses recorded")
+        nz = np.flatnonzero(self._counts)
+        n_buckets = (int(nz[-1]) + 1) if nz.size else 1
+        counts = self._counts[:n_buckets]
+        hits = np.concatenate(([0], np.cumsum(counts)))
+        sizes = np.arange(n_buckets + 1, dtype=np.int64) * self._bin
+        misses = self._total - hits
+        return sizes, misses / self._total

@@ -1,0 +1,155 @@
+"""Exact LRU stack-distance oracles.
+
+Two independent implementations of Mattson's LRU stack:
+
+* :class:`LinkedListLRUStack` — the textbook ``O(NM)`` doubly-linked list
+  (``O(1)`` move-to-front, linear-scan distance).  Simple enough to be an
+  oracle for everything else.
+* :class:`TreeLRUStack` — Olken's ``O(N logM)`` formulation using a Fenwick
+  tree over access timestamps: slot ``t`` holds 1 (or the object's byte
+  size) iff timestamp ``t`` is some object's most recent access, so the sum
+  of slots newer than an object's previous access is its stack distance.
+
+Both report object-granularity and byte-granularity distances and can run a
+whole trace into histograms via :func:`lru_distance_stream`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..workloads.trace import Trace
+from .fenwick import GrowableFenwick
+from .histogram import ByteDistanceHistogram, DistanceHistogram
+
+
+class _DNode:
+    __slots__ = ("key", "size", "prev", "next")
+
+    def __init__(self, key: int, size: int) -> None:
+        self.key = key
+        self.size = size
+        self.prev: Optional["_DNode"] = None
+        self.next: Optional["_DNode"] = None
+
+
+class LinkedListLRUStack:
+    """Doubly-linked-list LRU stack: exact distances, ``O(M)`` per access."""
+
+    def __init__(self) -> None:
+        self._head: Optional[_DNode] = None
+        self._nodes: dict[int, _DNode] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def access(self, key: int, size: int = 1) -> tuple[int, int]:
+        """Return pre-access ``(stack_distance, byte_distance)``; cold = (-1, -1).
+
+        ``byte_distance`` is the byte-level stack distance of Figure 4.3:
+        bytes of all more recent objects plus the object's own (pre-access)
+        size — the smallest byte capacity at which this access hits.
+        """
+        node = self._nodes.get(key)
+        if node is None:
+            dist, above = -1, -1
+        else:
+            dist = 1
+            above = node.size  # own (old) size counts toward the distance
+            cur = self._head
+            while cur is not node:
+                above += cur.size
+                dist += 1
+                cur = cur.next
+            # Unlink.
+            if node.prev is not None:
+                node.prev.next = node.next
+            else:
+                self._head = node.next
+            if node.next is not None:
+                node.next.prev = node.prev
+        if node is None:
+            node = _DNode(key, size)
+            self._nodes[key] = node
+        else:
+            node.size = size
+        node.prev = None
+        node.next = self._head
+        if self._head is not None:
+            self._head.prev = node
+        self._head = node
+        return dist, above
+
+    def keys_in_stack_order(self) -> list[int]:
+        out: list[int] = []
+        cur = self._head
+        while cur is not None:
+            out.append(cur.key)
+            cur = cur.next
+        return out
+
+
+class TreeLRUStack:
+    """Fenwick-tree LRU stack: exact distances in ``O(logN)`` per access."""
+
+    def __init__(self) -> None:
+        self._count_ft = GrowableFenwick()
+        self._bytes_ft = GrowableFenwick()
+        self._last_ts: dict[int, int] = {}
+        self._last_size: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._last_ts)
+
+    def access(self, key: int, size: int = 1) -> tuple[int, int]:
+        """Return pre-access ``(stack_distance, byte_distance)``; cold = (-1, -1).
+
+        ``byte_distance`` includes the object's own pre-access size (see
+        :class:`LinkedListLRUStack.access`).
+        """
+        prev_ts = self._last_ts.get(key)
+        if prev_ts is None:
+            dist, above = -1, -1
+        else:
+            # Objects accessed after prev_ts sit above this one; including
+            # itself gives the 1-based stack position (and, on the byte tree,
+            # the inclusive byte-level distance).
+            dist = self._count_ft.suffix_sum(prev_ts)
+            above = self._bytes_ft.suffix_sum(prev_ts)
+            # Clear the old most-recent marker.
+            self._count_ft.add(prev_ts, -1)
+            self._bytes_ft.add(prev_ts, -self._last_size[key])
+        ts = self._count_ft.append(1)
+        ts2 = self._bytes_ft.append(size)
+        assert ts == ts2
+        self._last_ts[key] = ts
+        self._last_size[key] = size
+        return dist, above
+
+
+def lru_distance_stream(trace: Trace, use_tree: bool = True) -> Iterator[tuple[int, int]]:
+    """Yield per-request ``(distance, bytes_above)`` for a whole trace."""
+    stack = TreeLRUStack() if use_tree else LinkedListLRUStack()
+    keys = trace.keys
+    sizes = trace.sizes
+    for i in range(keys.shape[0]):
+        yield stack.access(int(keys[i]), int(sizes[i]))
+
+
+def lru_histograms(
+    trace: Trace,
+    use_tree: bool = True,
+    byte_bin: int = 4096,
+) -> tuple[DistanceHistogram, ByteDistanceHistogram]:
+    """Run a trace through an exact LRU stack into both histograms."""
+    obj_hist = DistanceHistogram()
+    byte_hist = ByteDistanceHistogram(bin_bytes=byte_bin)
+    for dist, byte_dist in lru_distance_stream(trace, use_tree=use_tree):
+        obj_hist.record(dist if dist > 0 else 0)
+        if dist > 0:
+            byte_hist.record(float(byte_dist))
+        else:
+            byte_hist.record_cold()
+    return obj_hist, byte_hist

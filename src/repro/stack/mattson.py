@@ -1,0 +1,154 @@
+"""Mattson's generic stack algorithm (Figure 2.1) as an executable oracle.
+
+The general stack update (§2.2) pushes the referenced object to the top and
+sweeps the displaced item downward, at each position ``i`` asking a
+``maxPriority`` function whether the resident keeps its slot or is displaced
+(making ``i`` a *swap position*).  Policies differ only in that decision:
+
+* **LRU** — the resident is always displaced (stack order == recency order);
+* **RR** (Mattson's random replacement) — resident survives with ``(i-1)/i``;
+* **KRR** (the paper, Eq. 4.1) — resident survives with ``((i-1)/i)^K``.
+
+This module implements the sweep *literally*, in linear time, exactly as in
+the thesis pseudocode.  It is deliberately naive: the fast update strategies
+in :mod:`repro.core.updates` are validated against it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from .._util import RngLike, check_sampling_size, ensure_rng
+
+# A policy maps a 1-based stack position to the probability that the
+# resident there is *displaced* during a stack update.
+DisplaceProbability = Callable[[int], float]
+
+
+def lru_policy(i: int) -> float:
+    """Exact LRU: every position down to the hit point is displaced."""
+    return 1.0
+
+
+def rr_policy(i: int) -> float:
+    """Mattson's RR stack: displaced with probability ``1/i``."""
+    return 1.0 / i
+
+
+def krr_policy(k: float) -> DisplaceProbability:
+    """KRR (Eq. 4.1): resident at ``i`` survives with ``((i-1)/i)^K``.
+
+    ``k`` may be fractional — the paper's correction uses ``K' = K^1.4``.
+    """
+    if k <= 0:
+        raise ValueError("K must be positive")
+
+    def displace(i: int) -> float:
+        return 1.0 - ((i - 1) / i) ** k
+
+    return displace
+
+
+class GenericStack:
+    """Priority-stack simulator with the linear Mattson update.
+
+    Maintains the stack as a Python list (index 0 = stack top = position 1)
+    plus a key→position index for ``O(1)`` stack-distance lookup.  Each
+    ``access`` returns the pre-update stack distance (``-1`` when cold) and
+    then applies the downward sweep governed by the policy.
+    """
+
+    def __init__(self, displace_prob: DisplaceProbability, rng: RngLike = None) -> None:
+        self._displace = displace_prob
+        self._rng = ensure_rng(rng)
+        self._stack: list[int] = []
+        self._pos: dict[int, int] = {}  # key -> 0-based index
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def position_of(self, key: int) -> int:
+        """1-based stack position, or ``-1`` if never referenced."""
+        idx = self._pos.get(key)
+        return -1 if idx is None else idx + 1
+
+    def access(self, key: int) -> int:
+        """Reference ``key``: returns its stack distance, then updates.
+
+        Cold misses return ``-1``; per the thesis, the new object is attached
+        to the stack end before the update, so its ``phi`` is the (new) stack
+        length.
+        """
+        idx = self._pos.get(key)
+        if idx is None:
+            distance = -1
+            self._stack.append(key)
+            self._pos[key] = len(self._stack) - 1
+            phi = len(self._stack)
+        else:
+            distance = idx + 1
+            phi = distance
+        self._update(phi)
+        return distance
+
+    def _update(self, phi: int) -> None:
+        """Linear Mattson sweep: move s[phi] to top, cascade displacements."""
+        stack = self._stack
+        pos = self._pos
+        if phi == 1:
+            return
+        referenced = stack[phi - 1]
+        rng = self._rng
+        # y starts as the old top (it was displaced by the referenced object).
+        y = stack[0]
+        stack[0] = referenced
+        pos[referenced] = 0
+        for i in range(2, phi):  # 1-based positions 2 .. phi-1
+            # Displace iff u >= stay probability — the same draw orientation
+            # LinearUpdate uses, so identical seeds give identical paths.
+            if rng.random() >= 1.0 - self._displace(i):
+                resident = stack[i - 1]
+                stack[i - 1] = y
+                pos[y] = i - 1
+                y = resident
+        stack[phi - 1] = y
+        pos[y] = phi - 1
+
+    def keys_in_stack_order(self) -> list[int]:
+        return list(self._stack)
+
+    def swap_positions_for_update(self, phi: int) -> list[int]:
+        """Draw one swap-position set for a hit at ``phi`` (no state change).
+
+        Returns the 1-based positions whose resident is displaced, always
+        including 1 and ``phi``.  Used by the statistical-equivalence tests
+        comparing the linear sweep against the fast update strategies.
+        """
+        if phi < 1:
+            raise ValueError("phi must be >= 1")
+        if phi == 1:
+            return [1]
+        swaps = [1]
+        rng = self._rng
+        for i in range(2, phi):
+            if rng.random() >= 1.0 - self._displace(i):
+                swaps.append(i)
+        swaps.append(phi)
+        return swaps
+
+
+def lru_stack(rng: RngLike = None) -> GenericStack:
+    """Generic stack specialized to LRU (for oracle tests)."""
+    return GenericStack(lru_policy, rng)
+
+
+def rr_stack(rng: RngLike = None) -> GenericStack:
+    """Generic stack specialized to Mattson's RR."""
+    return GenericStack(rr_policy, rng)
+
+
+def krr_stack(k: float, rng: RngLike = None) -> GenericStack:
+    """Generic stack specialized to KRR with sampling size ``K``."""
+    return GenericStack(krr_policy(k), rng)

@@ -1,0 +1,191 @@
+"""Order-statistic treap keyed by access time (an Olken-style LRU stack).
+
+This is the balanced-search-tree formulation Olken used to bring Mattson's
+LRU stack to ``O(N logM)``: nodes are ordered by last-access timestamp
+(newest first), each node stores its subtree size (and byte weight), and an
+object's stack distance is the rank of its node.  It exists alongside the
+Fenwick-based oracle as an independent implementation so the two can
+cross-check each other in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._util import RngLike, ensure_rng
+
+
+class _Node:
+    __slots__ = ("key", "ts", "size", "prio", "left", "right", "count", "bytes")
+
+    def __init__(self, key: int, ts: int, size: int, prio: float) -> None:
+        self.key = key
+        self.ts = ts
+        self.size = size
+        self.prio = prio
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.count = 1
+        self.bytes = size
+
+
+def _count(node: Optional[_Node]) -> int:
+    return node.count if node else 0
+
+
+def _bytes(node: Optional[_Node]) -> int:
+    return node.bytes if node else 0
+
+
+def _pull(node: _Node) -> None:
+    node.count = 1 + _count(node.left) + _count(node.right)
+    node.bytes = node.size + _bytes(node.left) + _bytes(node.right)
+
+
+class OrderStatisticTreap:
+    """Treap over (object, last-access-time) with subtree counts and bytes.
+
+    The in-order traversal lists objects newest-to-oldest, i.e. in LRU-stack
+    order.  All operations are expected ``O(logM)``.
+    """
+
+    def __init__(self, rng: RngLike = None) -> None:
+        self._rng = ensure_rng(rng)
+        self._root: Optional[_Node] = None
+        self._nodes: dict[int, _Node] = {}
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return _count(self._root)
+
+    def total_bytes(self) -> int:
+        """Total byte weight of all resident objects."""
+        return _bytes(self._root)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._nodes
+
+    # -- treap primitives (split by timestamp; larger ts sorts earlier) ----
+    def _split(self, node: Optional[_Node], ts: int):
+        """Split into (subtree with ts > given, subtree with ts <= given)."""
+        if node is None:
+            return None, None
+        if node.ts > ts:
+            left, right = self._split(node.right, ts)
+            node.right = left
+            _pull(node)
+            return node, right
+        left, right = self._split(node.left, ts)
+        node.left = right
+        _pull(node)
+        return left, node
+
+    def _merge(self, a: Optional[_Node], b: Optional[_Node]) -> Optional[_Node]:
+        """Merge where every ts in ``a`` is greater than every ts in ``b``."""
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a.prio < b.prio:
+            a.right = self._merge(a.right, b)
+            _pull(a)
+            return a
+        b.left = self._merge(a, b.left)
+        _pull(b)
+        return b
+
+    # -- public API --------------------------------------------------------
+    def rank_of(self, key: int) -> int:
+        """1-based stack position of ``key`` (1 = most recent)."""
+        node = self._nodes.get(key)
+        if node is None:
+            raise KeyError(key)
+        target = node.ts
+        cur = self._root
+        rank = 0
+        while cur is not None:
+            if target > cur.ts:
+                cur = cur.left
+            elif target == cur.ts:
+                rank += _count(cur.left) + 1
+                return rank
+            else:
+                rank += _count(cur.left) + 1
+                cur = cur.right
+        raise KeyError(key)  # pragma: no cover - inconsistent index
+
+    def bytes_above(self, key: int) -> int:
+        """Total bytes of objects strictly more recent than ``key``."""
+        node = self._nodes.get(key)
+        if node is None:
+            raise KeyError(key)
+        target = node.ts
+        cur = self._root
+        acc = 0
+        while cur is not None:
+            if target > cur.ts:
+                cur = cur.left
+            elif target == cur.ts:
+                return acc + _bytes(cur.left)
+            else:
+                acc += _bytes(cur.left) + cur.size
+                cur = cur.right
+        raise KeyError(key)  # pragma: no cover
+
+    def _remove_ts(self, ts: int) -> None:
+        """Delete the (unique) node with timestamp ``ts``."""
+        newer, rest = self._split(self._root, ts)
+        # ``rest`` root chain contains ts as its maximum timestamp element.
+        target, older = self._split(rest, ts - 1)
+        # ``target`` is the single node with this exact ts.
+        self._root = self._merge(newer, older)
+
+    def access(self, key: int, size: int = 1) -> tuple[int, int]:
+        """Touch ``key``: return its pre-access (rank, byte_distance), move to top.
+
+        ``byte_distance`` includes the object's own pre-access size (the
+        inclusive convention of Figure 4.3).  Cold accesses return
+        ``(-1, -1)`` and insert the object.  ``size`` updates the object's
+        byte weight (variable-size workloads).
+        """
+        self._clock += 1
+        node = self._nodes.get(key)
+        if node is None:
+            rank, above = -1, -1
+        else:
+            rank = self.rank_of(key)
+            above = self.bytes_above(key) + node.size
+            self._remove_ts(node.ts)
+        new = _Node(key, self._clock, size, float(self._rng.random()))
+        self._nodes[key] = new
+        # New node has the max timestamp: merge at the front.
+        self._root = self._merge(new, self._root)
+        return rank, above
+
+    def evict_oldest(self) -> int:
+        """Remove and return the least recently used key."""
+        if self._root is None:
+            raise IndexError("treap is empty")
+        cur = self._root
+        while cur.right is not None:
+            cur = cur.right
+        key = cur.key
+        self._remove_ts(cur.ts)
+        del self._nodes[key]
+        return key
+
+    def keys_in_stack_order(self) -> list[int]:
+        """All keys, most recent first (for tests; ``O(M)``)."""
+        out: list[int] = []
+
+        def walk(node: Optional[_Node]) -> None:
+            if node is None:
+                return
+            walk(node.left)
+            out.append(node.key)
+            walk(node.right)
+
+        walk(self._root)
+        return out

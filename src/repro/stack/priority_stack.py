@@ -1,0 +1,177 @@
+"""Comparison-based Mattson priority stacks: OPT, LFU, MRU, LRU.
+
+:class:`GenericStack` in :mod:`repro.stack.mattson` models *probabilistic*
+policies (its maxPriority is a Bernoulli draw).  This module is the exact,
+comparison-based counterpart for deterministic priority policies — the
+class Mattson's original paper covers and Bilardi et al.'s Min-Tree work
+(§6.2) optimizes.  ``maxPriority`` compares real priority values; the full
+linear update is performed, so distances are exact for any policy whose
+priorities satisfy the framework:
+
+* **OPT** (Belady) — priority = sooner next use wins (needs the future;
+  we precompute next-use times from the trace).
+* **LFU** — priority = higher access count wins (ties by recency).
+* **MRU** — priority = *less* recent wins (stack order inverted).
+* **LRU** — priority = more recent wins (the degenerate case; prefer the
+  ``O(N logM)`` oracles in :mod:`repro.stack.lru_stack`).
+
+Updates are ``O(M)`` — this is an oracle/baseline module, not a fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable
+
+import numpy as np
+
+from ..workloads.trace import Trace
+from .histogram import DistanceHistogram
+
+# NOTE: repro.mrc.builder imports this package's histogram module, so the
+# builder/curve imports live inside the mrc-producing functions to keep the
+# import graph acyclic.
+
+# A priority getter maps key -> comparable value; HIGHER keeps its slot
+# nearer the top (wins maxPriority).
+PriorityGetter = Callable[[int], float]
+
+
+class PriorityStack:
+    """Exact Mattson stack for a deterministic priority policy."""
+
+    def __init__(self, priority_of: PriorityGetter) -> None:
+        self._priority_of = priority_of
+        self._stack: list[int] = []
+        self._pos: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def keys_in_stack_order(self) -> list[int]:
+        return list(self._stack)
+
+    def access(self, key: int) -> int:
+        """Return the pre-update stack distance (-1 cold), then update.
+
+        The update follows Equation 2.1 literally: the referenced object
+        takes the top; the displaced chain walks down, at each slot keeping
+        whichever of (incumbent, displaced) has the higher priority.
+        """
+        idx = self._pos.get(key)
+        if idx is None:
+            distance = -1
+            self._stack.append(key)
+            self._pos[key] = len(self._stack) - 1
+            phi = len(self._stack)
+        else:
+            distance = idx + 1
+            phi = distance
+        self._update(phi)
+        return distance
+
+    def _update(self, phi: int) -> None:
+        if phi == 1:
+            return
+        stack = self._stack
+        pos = self._pos
+        pr = self._priority_of
+        referenced = stack[phi - 1]
+        y = stack[0]
+        stack[0] = referenced
+        pos[referenced] = 0
+        for i in range(1, phi - 1):
+            incumbent = stack[i]
+            if pr(y) > pr(incumbent):
+                stack[i] = y
+                pos[y] = i
+                y = incumbent
+        stack[phi - 1] = y
+        pos[y] = phi - 1
+
+
+def opt_distances(trace: Trace) -> np.ndarray:
+    """Exact OPT (Belady) stack distances for every request.
+
+    Next-use times are precomputed; at any moment an object's priority is
+    ``-next_use`` (sooner reuse = higher priority = stays near the top), so
+    a hit at stack distance ``d`` means OPT caches of size >= d hit.
+    Never-reused objects get next use = +inf (lowest priority).
+    """
+    keys = trace.keys
+    n = keys.shape[0]
+    next_use = np.full(n, np.inf)
+    last_seen: dict[int, int] = {}
+    for i in range(n - 1, -1, -1):
+        k = int(keys[i])
+        nxt = last_seen.get(k)
+        next_use[i] = nxt if nxt is not None else np.inf
+        last_seen[k] = i
+
+    current_next: dict[int, float] = {}
+    stack = PriorityStack(lambda key: -current_next.get(key, np.inf))
+    out = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        k = int(keys[i])
+        current_next[k] = next_use[i]
+        out[i] = stack.access(k)
+    return out
+
+
+def opt_mrc(trace: Trace, max_size: int | None = None):
+    """Belady-optimal MRC (the lower bound every policy is judged against)."""
+    from ..mrc.builder import from_distance_histogram
+
+    hist = DistanceHistogram()
+    for d in opt_distances(trace):
+        hist.record(int(d) if d > 0 else 0)
+    return from_distance_histogram(hist, max_size=max_size, label="OPT")
+
+
+def lfu_distances(trace: Trace) -> np.ndarray:
+    """Exact LFU stack distances (priority = access count, recency ties)."""
+    counts: dict[int, int] = {}
+    clock = {"t": 0}
+    recency: dict[int, int] = {}
+
+    def priority(key: int) -> float:
+        return counts.get(key, 0) + recency.get(key, 0) * 1e-12
+
+    stack = PriorityStack(priority)
+    keys = trace.keys
+    out = np.empty(keys.shape[0], dtype=np.int64)
+    for i in range(keys.shape[0]):
+        k = int(keys[i])
+        counts[k] = counts.get(k, 0) + 1
+        clock["t"] += 1
+        recency[k] = clock["t"]
+        out[i] = stack.access(k)
+    return out
+
+
+def lfu_mrc(trace: Trace, max_size: int | None = None):
+    """Exact-LFU MRC via the priority stack."""
+    from ..mrc.builder import from_distance_histogram
+
+    hist = DistanceHistogram()
+    for d in lfu_distances(trace):
+        hist.record(int(d) if d > 0 else 0)
+    return from_distance_histogram(hist, max_size=max_size, label="LFU")
+
+
+def mru_distances(trace: Trace) -> np.ndarray:
+    """Exact MRU stack distances (priority = older access wins)."""
+    clock = {"t": 0}
+    recency: dict[int, int] = {}
+
+    def priority(key: int) -> float:
+        return -recency.get(key, 0)
+
+    stack = PriorityStack(priority)
+    keys = trace.keys
+    out = np.empty(keys.shape[0], dtype=np.int64)
+    for i in range(keys.shape[0]):
+        k = int(keys[i])
+        clock["t"] += 1
+        recency[k] = clock["t"]
+        out[i] = stack.access(k)
+    return out

@@ -1,0 +1,33 @@
+"""Workload substrates: trace container, generators, persistence.
+
+The paper evaluates on MSR Cambridge, YCSB and Twitter traces; this package
+provides a shared :class:`~repro.workloads.trace.Trace` format plus
+synthetic generators reproducing each suite's structure (see DESIGN.md §2
+for the substitution rationale).
+"""
+
+from .trace import OP_DELETE, OP_GET, OP_SET, Request, Trace, reuse_times
+from .stats import TraceProfile, estimate_zipf_alpha, profile_trace
+from .zipf import ScrambledZipfGenerator, ZipfGenerator, zipf_trace_keys
+from . import io, msr, patterns, stats, twitter, ycsb
+
+__all__ = [
+    "OP_DELETE",
+    "OP_GET",
+    "OP_SET",
+    "Request",
+    "ScrambledZipfGenerator",
+    "Trace",
+    "TraceProfile",
+    "ZipfGenerator",
+    "estimate_zipf_alpha",
+    "profile_trace",
+    "stats",
+    "io",
+    "msr",
+    "patterns",
+    "reuse_times",
+    "twitter",
+    "ycsb",
+    "zipf_trace_keys",
+]

@@ -1,0 +1,84 @@
+"""Trace persistence: CSV (interchange) and NPZ (fast binary) formats.
+
+CSV columns are ``key,size,op`` with a header row; ``op`` is the textual
+name (``get``/``set``/``delete``).  NPZ stores the three arrays verbatim.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .trace import Trace, op_code, op_name
+
+PathLike = Union[str, Path]
+
+
+def save_csv(trace: Trace, path: PathLike) -> None:
+    """Write a trace to CSV (one request per row)."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["key", "size", "op"])
+        for i in range(len(trace)):
+            writer.writerow(
+                [int(trace.keys[i]), int(trace.sizes[i]), op_name(int(trace.ops[i]))]
+            )
+
+
+def load_csv(path: PathLike, name: str | None = None) -> Trace:
+    """Read a trace written by :func:`save_csv` (or any key,size,op CSV)."""
+    path = Path(path)
+    keys: list[int] = []
+    sizes: list[int] = []
+    ops: list[int] = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None:
+            return Trace(np.empty(0, dtype=np.int64), name=name or path.stem)
+        cols = {c.strip().lower(): i for i, c in enumerate(header)}
+        if "key" not in cols:
+            raise ValueError(f"{path}: CSV must have a 'key' column, got {header}")
+        ki = cols["key"]
+        si = cols.get("size")
+        oi = cols.get("op")
+        int64_min, int64_max = -(1 << 63), (1 << 63) - 1
+        for row in reader:
+            if not row:
+                continue
+            key = int(row[ki])
+            size = int(row[si]) if si is not None else 1
+            if not (int64_min <= key <= int64_max) or not (
+                int64_min <= size <= int64_max
+            ):
+                raise ValueError(
+                    f"{path}: key/size out of int64 range: {row!r}"
+                )
+            keys.append(key)
+            sizes.append(size)
+            ops.append(op_code(row[oi].strip().lower()) if oi is not None else 0)
+    return Trace(
+        np.asarray(keys, dtype=np.int64),
+        np.asarray(sizes, dtype=np.int64),
+        np.asarray(ops, dtype=np.int8),
+        name=name or path.stem,
+    )
+
+
+def save_npz(trace: Trace, path: PathLike) -> None:
+    """Write a trace to compressed NPZ (fast, lossless)."""
+    np.savez_compressed(
+        Path(path), keys=trace.keys, sizes=trace.sizes, ops=trace.ops,
+        name=np.array(trace.name),
+    )
+
+
+def load_npz(path: PathLike) -> Trace:
+    """Read a trace written by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        name = str(data["name"]) if "name" in data else Path(path).stem
+        return Trace(data["keys"], data["sizes"], data["ops"], name=name)

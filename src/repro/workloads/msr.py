@@ -1,0 +1,212 @@
+"""MSR-Cambridge-like synthetic block I/O traces.
+
+The paper evaluates on the 13-server MSR Cambridge suite plus a merged
+"master" trace.  Those traces are not redistributable here, so this module
+synthesizes block-I/O streams with the structural features that make the
+MSR suite interesting for K-LRU modeling (documented in DESIGN.md):
+
+* enterprise servers mix *skewed hotspots* (metadata, hot files) with
+  *large sequential scans* (backup jobs, table scans) and *loops* (periodic
+  re-reads) — exactly the patterns that open a gap between exact LRU and
+  random-sampling LRU (the paper's "Type A" traces);
+* other servers are dominated by smooth skewed reuse, where all K-LRU
+  variants coincide ("Type B").
+
+Each named preset is a deterministic recipe over the primitives in
+:mod:`repro.workloads.patterns`.  Presets whose real counterparts the paper
+plots as Type A (``src1``, ``src2``, ``web``, ``proj``) get scan/loop-heavy
+recipes; ``usr`` and friends get smooth recipes (Type B).
+
+Variable-size mode assigns each *object* a fixed block size drawn from a
+mixture of common I/O sizes (4 KiB pages through 64 KiB multi-block reads),
+matching the paper's rule of using "the block size from the first request to
+each object as the object's size".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from .._util import RngLike, ensure_rng
+from . import patterns
+from .trace import Trace
+
+#: Block sizes (bytes) and mixture weights for variable-size MSR objects.
+_BLOCK_SIZES = np.array([4096, 8192, 16384, 32768, 65536], dtype=np.int64)
+_BLOCK_WEIGHTS = np.array([0.45, 0.25, 0.15, 0.10, 0.05])
+
+
+@dataclass(frozen=True)
+class ServerRecipe:
+    """A named synthetic server: key-stream builder + scale parameters."""
+
+    name: str
+    n_objects: int
+    build: Callable[[int, int, np.random.Generator], np.ndarray]
+    type_hint: str  # "A" or "B" — which family the paper's figure shows
+
+
+def _recipe_scan_heavy(n_objects: int, n_requests: int, rng: np.random.Generator) -> np.ndarray:
+    """Hotspot base + repeated large scans: strong LRU/K=1 gap (Type A)."""
+    scan_len = n_objects // 2
+    base = patterns.zipf_phase(n_objects // 2, n_requests // 2, 0.8, rng=rng)
+    scans = patterns.sequential_scan(
+        n_objects // 2, scan_len, repeat=max(1, (n_requests // 2) // scan_len)
+    )[: n_requests - len(base)]
+    return patterns.interleave_streams([base, scans], [0.55, 0.45], rng=rng)
+
+
+def _recipe_loop_heavy(n_objects: int, n_requests: int, rng: np.random.Generator) -> np.ndarray:
+    """Cyclic loop over a mid-size set + light noise (Type A, plateau MRC)."""
+    loop_keys = np.arange(n_objects // 3, dtype=np.int64)
+    lp = patterns.loop(loop_keys, (2 * n_requests) // 3)
+    noise = patterns.uniform_random(
+        n_objects - len(loop_keys), n_requests - len(lp),
+        key_offset=len(loop_keys), rng=rng,
+    )
+    return patterns.interleave_streams([lp, noise], [0.7, 0.3], rng=rng)
+
+
+def _recipe_phased(n_objects: int, n_requests: int, rng: np.random.Generator) -> np.ndarray:
+    """Multi-scale loops + hotspot: a staircase MRC with sustained K-gap.
+
+    Loops at several working-set scales put LRU-pathological plateaus across
+    the whole size range (re-reference order equals recency order), which is
+    exactly where random-sampling LRU with small K beats exact LRU — the
+    Figure 1.1 fan of the real `web` trace.
+    """
+    loop_sets = [
+        np.arange(int(n_objects * frac), dtype=np.int64)
+        for frac in (0.25, 0.55, 0.9)
+    ]
+    passes = (4, 2, 1)
+    segments: list[np.ndarray] = []
+    produced = 0
+    while produced < n_requests:
+        for keys_set, n_pass in zip(loop_sets, passes):
+            seg = patterns.loop(keys_set, n_pass * keys_set.shape[0])
+            segments.append(seg)
+            produced += seg.shape[0]
+            # Short hot burst between phases (metadata traffic).
+            burst = patterns.hotspot(n_objects, n_objects // 10, 0.02, 0.9, rng=rng)
+            segments.append(burst)
+            produced += burst.shape[0]
+            if produced >= n_requests:
+                break
+    return patterns.mix_phases(segments)[:n_requests]
+
+
+def _recipe_smooth(alpha: float):
+    """Smooth scrambled-Zipf reuse: K-LRU ≈ LRU for every K (Type B)."""
+
+    def build(n_objects: int, n_requests: int, rng: np.random.Generator) -> np.ndarray:
+        return patterns.zipf_phase(n_objects, n_requests, alpha, rng=rng)
+
+    return build
+
+
+def _recipe_scan_plus_smooth(n_objects: int, n_requests: int, rng: np.random.Generator) -> np.ndarray:
+    """Mostly smooth with a minority scan component (mild Type A)."""
+    base = patterns.zipf_phase(n_objects, (3 * n_requests) // 4, 1.0, rng=rng)
+    scan_len = n_objects // 4
+    scans = patterns.sequential_scan(0, scan_len, repeat=max(1, (n_requests // 4) // scan_len))
+    return patterns.interleave_streams([base, scans], [0.8, 0.2], rng=rng)
+
+
+#: The 13 MSR server presets (names follow the real suite).
+SERVERS: Dict[str, ServerRecipe] = {
+    "src1": ServerRecipe("src1", 60_000, _recipe_scan_heavy, "A"),
+    "src2": ServerRecipe("src2", 30_000, _recipe_loop_heavy, "A"),
+    "web": ServerRecipe("web", 50_000, _recipe_phased, "A"),
+    "proj": ServerRecipe("proj", 80_000, _recipe_scan_heavy, "A"),
+    "hm": ServerRecipe("hm", 25_000, _recipe_scan_plus_smooth, "A"),
+    "rsrch": ServerRecipe("rsrch", 15_000, _recipe_loop_heavy, "A"),
+    "usr": ServerRecipe("usr", 70_000, _recipe_smooth(0.9), "B"),
+    "prn": ServerRecipe("prn", 40_000, _recipe_smooth(0.7), "B"),
+    "stg": ServerRecipe("stg", 35_000, _recipe_scan_plus_smooth, "A"),
+    "ts": ServerRecipe("ts", 20_000, _recipe_smooth(1.1), "B"),
+    "wdev": ServerRecipe("wdev", 18_000, _recipe_loop_heavy, "A"),
+    "mds": ServerRecipe("mds", 28_000, _recipe_smooth(0.8), "B"),
+    "prxy": ServerRecipe("prxy", 45_000, _recipe_phased, "A"),
+}
+
+
+def object_block_sizes(n_objects: int, rng: RngLike = None) -> np.ndarray:
+    """Per-object fixed block sizes drawn from the common-I/O-size mixture."""
+    rng = ensure_rng(rng)
+    return rng.choice(_BLOCK_SIZES, size=n_objects, p=_BLOCK_WEIGHTS)
+
+
+def make_trace(
+    server: str,
+    n_requests: int = 200_000,
+    seed: int = 11,
+    variable_size: bool = False,
+    uniform_size: int = 200,
+    scale: float = 1.0,
+) -> Trace:
+    """Build the synthetic trace for one named MSR server.
+
+    Parameters
+    ----------
+    server:
+        One of :data:`SERVERS` (e.g. ``"src1"``) — see module docstring.
+    n_requests:
+        Trace length.
+    variable_size:
+        If true, objects carry per-key block sizes (4–64 KiB mixture);
+        otherwise every request uses ``uniform_size`` bytes (paper §5.3 uses
+        200 B uniform objects).
+    scale:
+        Multiplier on the preset's object count (shrink for fast tests).
+    """
+    if server not in SERVERS:
+        raise KeyError(f"unknown MSR server {server!r}; choose from {sorted(SERVERS)}")
+    recipe = SERVERS[server]
+    rng = ensure_rng(seed)
+    n_objects = max(64, int(recipe.n_objects * scale))
+    keys = recipe.build(n_objects, n_requests, rng)
+    if keys.shape[0] < n_requests:
+        # Recipes built from integer-ratio mixtures can come up short by a
+        # fraction of one component; cycle the stream to the exact length.
+        reps = -(-n_requests // keys.shape[0])
+        keys = np.tile(keys, reps)
+    keys = keys[:n_requests]
+    if variable_size:
+        per_obj = object_block_sizes(int(keys.max()) + 1, rng)
+        sizes = per_obj[keys]
+    else:
+        sizes = np.full(keys.shape[0], int(uniform_size), dtype=np.int64)
+    suffix = "var" if variable_size else f"uni{uniform_size}"
+    return Trace(keys, sizes, name=f"msr_{server}_{suffix}")
+
+
+def make_master_trace(
+    n_requests_per_server: int = 40_000,
+    seed: int = 13,
+    variable_size: bool = False,
+    scale: float = 0.35,
+) -> Trace:
+    """The merged "master" trace: all 13 servers randomly interleaved."""
+    rng = ensure_rng(seed)
+    traces = [
+        make_trace(s, n_requests_per_server, seed + i, variable_size, scale=scale)
+        for i, s in enumerate(sorted(SERVERS))
+    ]
+    return Trace.interleave(traces, rng=rng, name="msr_master")
+
+
+def paper_msr_suite(
+    n_requests: int = 150_000,
+    seed: int = 11,
+    variable_size: bool = False,
+    scale: float = 0.4,
+) -> list[Trace]:
+    """All 13 MSR server traces at test-friendly scale."""
+    return [
+        make_trace(s, n_requests, seed + i, variable_size, scale=scale)
+        for i, s in enumerate(sorted(SERVERS))
+    ]

@@ -1,0 +1,118 @@
+"""Reusable access-pattern primitives for synthetic trace construction.
+
+These are the building blocks the MSR-like generator composes: sequential
+scans, cyclic loops, skewed hotspots, uniform noise, and phase mixtures.
+Each primitive returns a key array; callers attach sizes/ops.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._util import RngLike, check_positive, ensure_rng
+from .zipf import ZipfGenerator
+
+
+def sequential_scan(start: int, length: int, repeat: int = 1) -> np.ndarray:
+    """Keys ``start .. start+length-1`` repeated ``repeat`` times in order.
+
+    Pure streaming pattern: every access past the first pass has reuse
+    distance ``length`` — the canonical Type-A stressor where K-LRU with
+    small K beats exact LRU (random eviction breaks the loop pathology).
+    """
+    check_positive("length", length)
+    one = np.arange(start, start + length, dtype=np.int64)
+    return np.tile(one, repeat)
+
+
+def loop(keys: Sequence[int] | np.ndarray, n_requests: int) -> np.ndarray:
+    """Cycle through ``keys`` in fixed order for ``n_requests`` accesses.
+
+    The paper singles out loop patterns as KRR's worst case (same recency
+    order revisited repeatedly, §4.2); we expose it directly so tests and
+    ablations can target it.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    check_positive("n_requests", n_requests)
+    reps = -(-n_requests // keys.shape[0])
+    return np.tile(keys, reps)[:n_requests]
+
+
+def hotspot(
+    n_objects: int,
+    n_requests: int,
+    hot_fraction: float = 0.1,
+    hot_prob: float = 0.9,
+    key_offset: int = 0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Hot/cold mixture: ``hot_prob`` of requests hit ``hot_fraction`` of keys."""
+    check_positive("n_objects", n_objects)
+    rng = ensure_rng(rng)
+    n_hot = max(1, int(n_objects * hot_fraction))
+    is_hot = rng.random(n_requests) < hot_prob
+    keys = np.where(
+        is_hot,
+        rng.integers(0, n_hot, size=n_requests),
+        rng.integers(n_hot, max(n_hot + 1, n_objects), size=n_requests),
+    )
+    return keys.astype(np.int64) + key_offset
+
+
+def zipf_phase(
+    n_objects: int,
+    n_requests: int,
+    alpha: float,
+    key_offset: int = 0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """A Zipf-popularity burst over a key sub-range (one workload phase)."""
+    rng = ensure_rng(rng)
+    gen = ZipfGenerator(n_objects, alpha, rng)
+    return gen.sample(n_requests) + key_offset
+
+
+def uniform_random(
+    n_objects: int, n_requests: int, key_offset: int = 0, rng: RngLike = None
+) -> np.ndarray:
+    """Uniformly random keys over a range (cache-hostile background noise)."""
+    rng = ensure_rng(rng)
+    return rng.integers(0, n_objects, size=n_requests).astype(np.int64) + key_offset
+
+
+def mix_phases(phases: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate phases back-to-back (workload regime changes over time)."""
+    if not phases:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate([np.asarray(p, dtype=np.int64) for p in phases])
+
+
+def interleave_streams(
+    streams: Sequence[np.ndarray],
+    weights: Sequence[float],
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Probabilistically interleave request streams with given weights.
+
+    Each output slot picks stream ``i`` with probability ``weights[i]`` and
+    consumes that stream's next request (cycling if exhausted).  Models
+    concurrent clients with different access patterns sharing one cache.
+    """
+    if len(streams) != len(weights):
+        raise ValueError("streams and weights must have equal length")
+    rng = ensure_rng(rng)
+    w = np.asarray(weights, dtype=np.float64)
+    if w.min() < 0 or w.sum() <= 0:
+        raise ValueError("weights must be non-negative and not all zero")
+    w = w / w.sum()
+    total = int(sum(len(s) for s in streams))
+    choice = rng.choice(len(streams), size=total, p=w)
+    out = np.empty(total, dtype=np.int64)
+    cursors = [0] * len(streams)
+    for i, c in enumerate(choice):
+        s = streams[c]
+        out[i] = s[cursors[c] % len(s)]
+        cursors[c] += 1
+    return out

@@ -1,0 +1,127 @@
+"""Trace characterization: skew estimation, reuse summary, scan detection.
+
+Answers the questions a practitioner asks before modeling a workload:
+*how skewed is it* (fitted Zipf exponent), *how re-usable is it*
+(reuse-time quantiles, cold fraction), and *does it contain the
+sequential/loop structure* that makes sampling size K matter (Type A) —
+the quick structural screen behind :mod:`repro.analysis.classify`'s more
+expensive model-based verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .trace import Trace, reuse_times
+
+
+def estimate_zipf_alpha(trace: Trace, top_fraction: float = 0.5) -> float:
+    """Fit a Zipf exponent to the trace's popularity distribution.
+
+    Least-squares on log(frequency) vs log(rank) over the most popular
+    ``top_fraction`` of objects (the head is where a Zipf body shows; the
+    tail is dominated by singletons and quantization).  Returns 0 for
+    uniform popularity; values around 1 match typical cache workloads.
+    """
+    if not 0 < top_fraction <= 1:
+        raise ValueError("top_fraction must be in (0, 1]")
+    if len(trace) == 0:
+        raise ValueError("empty trace")
+    counts = np.sort(np.bincount(np.unique(trace.keys, return_inverse=True)[1]))[::-1]
+    n_head = max(2, int(counts.shape[0] * top_fraction))
+    head = counts[:n_head].astype(np.float64)
+    ranks = np.arange(1, n_head + 1, dtype=np.float64)
+    slope, _ = np.polyfit(np.log(ranks), np.log(head), 1)
+    return max(0.0, float(-slope))
+
+
+def sequentiality_score(trace: Trace) -> float:
+    """Fraction of consecutive request pairs with key delta exactly +1.
+
+    Pure scans score ~1, random/Zipf traffic ~1/M; a score above a few
+    percent flags a meaningful sequential component.
+    """
+    if len(trace) < 2:
+        return 0.0
+    deltas = np.diff(trace.keys)
+    return float(np.mean(deltas == 1))
+
+
+def reuse_summary(trace: Trace) -> dict[str, float]:
+    """Cold fraction plus reuse-time quantiles (p50/p90/p99)."""
+    rts = reuse_times(trace)
+    finite = rts[rts > 0]
+    n = max(1, rts.shape[0])
+    out = {"cold_fraction": float((rts < 0).sum() / n)}
+    if finite.size:
+        p50, p90, p99 = np.percentile(finite, [50, 90, 99])
+        out.update(
+            reuse_p50=float(p50), reuse_p90=float(p90), reuse_p99=float(p99)
+        )
+    else:
+        out.update(reuse_p50=float("inf"), reuse_p90=float("inf"),
+                   reuse_p99=float("inf"))
+    return out
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """One-stop structural profile of a trace."""
+
+    name: str
+    requests: int
+    unique_objects: int
+    footprint_bytes: int
+    zipf_alpha: float
+    sequentiality: float
+    cold_fraction: float
+    reuse_p50: float
+    reuse_p90: float
+    reuse_p99: float
+    uniform_sizes: bool
+
+    @property
+    def likely_type_a(self) -> bool:
+        """Cheap structural screen for K-sensitivity (Type A).
+
+        Sequential/loop structure is the dominant Type-A signal; strong
+        skew without it is the classic Type-B shape.  This is a heuristic
+        pre-filter — :func:`repro.analysis.classify.classify_trace` gives
+        the model-based verdict.
+        """
+        return self.sequentiality > 0.05
+
+    def as_rows(self) -> list[tuple[str, object]]:
+        return [
+            ("requests", self.requests),
+            ("unique objects", self.unique_objects),
+            ("footprint bytes", self.footprint_bytes),
+            ("zipf alpha (fit)", round(self.zipf_alpha, 3)),
+            ("sequentiality", round(self.sequentiality, 4)),
+            ("cold fraction", round(self.cold_fraction, 4)),
+            ("reuse p50/p90/p99",
+             f"{self.reuse_p50:.0f}/{self.reuse_p90:.0f}/{self.reuse_p99:.0f}"),
+            ("uniform sizes", self.uniform_sizes),
+            ("likely Type A", self.likely_type_a),
+        ]
+
+
+def profile_trace(trace: Trace) -> TraceProfile:
+    """Compute the full :class:`TraceProfile` for a trace."""
+    reuse = reuse_summary(trace)
+    return TraceProfile(
+        name=trace.name,
+        requests=len(trace),
+        unique_objects=trace.unique_objects(),
+        footprint_bytes=trace.footprint_bytes(),
+        zipf_alpha=estimate_zipf_alpha(trace) if len(trace) else 0.0,
+        sequentiality=sequentiality_score(trace),
+        cold_fraction=reuse["cold_fraction"],
+        reuse_p50=reuse["reuse_p50"],
+        reuse_p90=reuse["reuse_p90"],
+        reuse_p99=reuse["reuse_p99"],
+        uniform_sizes=trace.is_uniform_size(),
+    )

@@ -1,0 +1,240 @@
+"""Trace container: a NumPy-backed stream of cache requests.
+
+A :class:`Trace` holds three parallel columns — integer object keys, object
+sizes in bytes, and operation codes — plus convenience statistics (working
+set size, footprint).  All generators in :mod:`repro.workloads` produce
+traces in this format and every model/simulator in the library consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Operation codes stored in :attr:`Trace.ops`.
+OP_GET = 0
+OP_SET = 1
+OP_DELETE = 2
+
+_OP_NAMES = {OP_GET: "get", OP_SET: "set", OP_DELETE: "delete"}
+_OP_CODES = {v: k for k, v in _OP_NAMES.items()}
+
+
+def op_name(code: int) -> str:
+    """Human-readable name for an operation code."""
+    return _OP_NAMES[int(code)]
+
+
+def op_code(name: str) -> int:
+    """Operation code for a human-readable name (``get``/``set``/``delete``)."""
+    return _OP_CODES[name]
+
+
+@dataclass
+class Request:
+    """A single cache request (row view into a :class:`Trace`)."""
+
+    key: int
+    size: int = 1
+    op: int = OP_GET
+
+    @property
+    def op_name(self) -> str:
+        return op_name(self.op)
+
+
+class Trace:
+    """An immutable sequence of cache requests backed by NumPy arrays.
+
+    Parameters
+    ----------
+    keys:
+        Integer object identifiers, one per request.
+    sizes:
+        Object sizes in bytes.  ``None`` means uniform size 1.
+    ops:
+        Operation codes (:data:`OP_GET` etc.).  ``None`` means all gets.
+    name:
+        Optional label used in reports and experiment tables.
+    """
+
+    __slots__ = ("keys", "sizes", "ops", "name", "_unique_cache")
+
+    def __init__(
+        self,
+        keys: Sequence[int],
+        sizes: Optional[Sequence[int]] = None,
+        ops: Optional[Sequence[int]] = None,
+        name: str = "trace",
+    ) -> None:
+        self.keys = np.ascontiguousarray(keys, dtype=np.int64)
+        if self.keys.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        n = self.keys.shape[0]
+        if sizes is None:
+            self.sizes = np.ones(n, dtype=np.int64)
+        else:
+            self.sizes = np.ascontiguousarray(sizes, dtype=np.int64)
+            if self.sizes.shape != (n,):
+                raise ValueError("sizes must match keys length")
+            if n and self.sizes.min() < 1:
+                raise ValueError("object sizes must be >= 1 byte")
+        if ops is None:
+            self.ops = np.zeros(n, dtype=np.int8)
+        else:
+            self.ops = np.ascontiguousarray(ops, dtype=np.int8)
+            if self.ops.shape != (n,):
+                raise ValueError("ops must match keys length")
+        self.name = name
+        self._unique_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.keys.shape[0])
+
+    def __iter__(self) -> Iterator[Request]:
+        for i in range(len(self)):
+            yield Request(int(self.keys[i]), int(self.sizes[i]), int(self.ops[i]))
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return Trace(
+                self.keys[idx], self.sizes[idx], self.ops[idx], name=self.name
+            )
+        i = int(idx)
+        return Request(int(self.keys[i]), int(self.sizes[i]), int(self.ops[i]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Trace(name={self.name!r}, n={len(self)}, "
+            f"unique={self.unique_objects()}, footprint={self.footprint_bytes()}B)"
+        )
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def unique_keys(self) -> np.ndarray:
+        """Sorted array of distinct keys referenced by the trace."""
+        if self._unique_cache is None:
+            self._unique_cache = np.unique(self.keys)
+        return self._unique_cache
+
+    def unique_objects(self) -> int:
+        """Number of distinct objects (the paper's ``M``)."""
+        return int(self.unique_keys().shape[0])
+
+    def working_set_size(self) -> int:
+        """Alias for :meth:`unique_objects` (object-granularity working set)."""
+        return self.unique_objects()
+
+    def footprint_bytes(self) -> int:
+        """Total bytes of distinct objects, using each object's *last* size.
+
+        This matches how a cache that stores the latest value for each key
+        would fill up, and is the natural x-axis bound for byte-level MRCs.
+        """
+        if len(self) == 0:
+            return 0
+        # Last occurrence wins: iterate the reversed unique-index trick.
+        rev_keys = self.keys[::-1]
+        _, first_idx = np.unique(rev_keys, return_index=True)
+        return int(self.sizes[::-1][first_idx].sum())
+
+    def mean_object_size(self) -> float:
+        """Mean size over distinct objects (last size per key)."""
+        m = self.unique_objects()
+        return self.footprint_bytes() / m if m else 0.0
+
+    def is_uniform_size(self) -> bool:
+        """True if all requests carry the same object size."""
+        return len(self) == 0 or bool((self.sizes == self.sizes[0]).all())
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def with_uniform_size(self, size: int = 1, name: Optional[str] = None) -> "Trace":
+        """Copy of the trace with every object forced to ``size`` bytes.
+
+        The paper's fixed-size experiments (§5.3) convert every request to a
+        uniform 200-byte get/set; this is that conversion.
+        """
+        return Trace(
+            self.keys,
+            np.full(len(self), int(size), dtype=np.int64),
+            self.ops,
+            name=name or f"{self.name}-uni{size}",
+        )
+
+    def head(self, n: int) -> "Trace":
+        """First ``n`` requests (used for the 1M-request timing runs)."""
+        return self[:n]
+
+    @staticmethod
+    def concat(traces: Sequence["Trace"], name: str = "merged") -> "Trace":
+        """Concatenate traces back to back (sequential merge)."""
+        if not traces:
+            return Trace(np.empty(0, dtype=np.int64), name=name)
+        return Trace(
+            np.concatenate([t.keys for t in traces]),
+            np.concatenate([t.sizes for t in traces]),
+            np.concatenate([t.ops for t in traces]),
+            name=name,
+        )
+
+    @staticmethod
+    def interleave(
+        traces: Sequence["Trace"],
+        rng: Optional[np.random.Generator] = None,
+        name: str = "master",
+    ) -> "Trace":
+        """Randomly interleave several traces into one "master" trace.
+
+        Mirrors the merged MSR "master" workload used in §5.5/Table 5.4:
+        requests from each server trace retain their relative order but the
+        servers' streams are shuffled together.  Key spaces are disjointified
+        by tagging each trace's keys with its index in the high bits.
+        """
+        rng = np.random.default_rng() if rng is None else rng
+        if not traces:
+            return Trace(np.empty(0, dtype=np.int64), name=name)
+        owner = np.concatenate(
+            [np.full(len(t), i, dtype=np.int64) for i, t in enumerate(traces)]
+        )
+        order = rng.permutation(owner.shape[0])
+        owner = owner[order]
+        # Stable per-trace position: for each slot, which request of its trace.
+        pos = np.zeros_like(owner)
+        counters = np.zeros(len(traces), dtype=np.int64)
+        for i, o in enumerate(owner):
+            pos[i] = counters[o]
+            counters[o] += 1
+        keys = np.empty(owner.shape[0], dtype=np.int64)
+        sizes = np.empty_like(keys)
+        ops = np.empty(owner.shape[0], dtype=np.int8)
+        for i, t in enumerate(traces):
+            mask = owner == i
+            keys[mask] = t.keys[pos[mask]] | (np.int64(i + 1) << 48)
+            sizes[mask] = t.sizes[pos[mask]]
+            ops[mask] = t.ops[pos[mask]]
+        return Trace(keys, sizes, ops, name=name)
+
+
+def reuse_times(trace: Trace) -> np.ndarray:
+    """Per-request reuse time: requests since the previous access to the key.
+
+    Cold (first) accesses get ``-1``.  This is the input distribution for the
+    reuse-time based baselines (AET, StatStack) in :mod:`repro.baselines`.
+    """
+    last_seen: dict[int, int] = {}
+    out = np.empty(len(trace), dtype=np.int64)
+    keys = trace.keys
+    for i in range(keys.shape[0]):
+        k = int(keys[i])
+        prev = last_seen.get(k)
+        out[i] = -1 if prev is None else i - prev
+        last_seen[k] = i
+    return out

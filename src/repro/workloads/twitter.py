@@ -1,0 +1,161 @@
+"""Twitter-production-like KV cache traces with variable object sizes.
+
+The paper's Twitter experiments use week-long traces from four in-memory
+cache clusters (Yang, Yue & Rashmi, OSDI'20).  Their published
+characterization — which we synthesize from — reports:
+
+* object popularity close to Zipfian with per-cluster skew;
+* heavy-tailed value sizes (most objects tens–hundreds of bytes, a long
+  tail into tens of KiB), well modeled by a generalized Pareto body;
+* a get-dominated op mix with a cluster-dependent write ratio, and value
+  sizes that occasionally *change* on overwrite.
+
+Each named preset (``cluster26.0``, ``cluster34.1``, ``cluster45.0``,
+``cluster52.7``) fixes skew, size distribution and write ratio so that the
+four traces have distinct MRC shapes like the paper's figures: 34.1 is a
+Type-A trace (visible K-gap, via a scan component), 45.0 is Type B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from .._util import RngLike, ensure_rng
+from . import patterns
+from .trace import OP_GET, OP_SET, Trace
+from .zipf import ScrambledZipfGenerator
+
+
+@dataclass(frozen=True)
+class ClusterRecipe:
+    """Parameters for one synthetic Twitter cache cluster."""
+
+    name: str
+    n_objects: int
+    alpha: float
+    size_median: float  # bytes, median of the lognormal size body
+    size_sigma: float  # lognormal shape (heavier tail for larger sigma)
+    write_ratio: float
+    scan_fraction: float  # fraction of requests from a scan component (Type A)
+
+
+CLUSTERS: Dict[str, ClusterRecipe] = {
+    "cluster26.0": ClusterRecipe("cluster26.0", 30_000, 1.0, 230.0, 1.2, 0.05, 0.00),
+    "cluster34.1": ClusterRecipe("cluster34.1", 40_000, 0.9, 120.0, 1.5, 0.02, 0.50),
+    "cluster45.0": ClusterRecipe("cluster45.0", 50_000, 0.8, 340.0, 1.0, 0.10, 0.00),
+    "cluster52.7": ClusterRecipe("cluster52.7", 25_000, 1.2, 80.0, 1.8, 0.30, 0.10),
+}
+
+
+def object_value_sizes(
+    n_objects: int, median: float, sigma: float, rng: RngLike = None
+) -> np.ndarray:
+    """Per-object value sizes: lognormal body, clipped to [1 B, 1 MiB].
+
+    A lognormal with sigma in [1, 2] reproduces the OSDI'20 heavy-tail shape
+    well enough for MRC purposes (what matters downstream is that byte-level
+    and object-level stack distances diverge, which any heavy tail causes).
+    """
+    rng = ensure_rng(rng)
+    sizes = rng.lognormal(mean=np.log(median), sigma=sigma, size=n_objects)
+    return np.clip(sizes, 1, 1 << 20).astype(np.int64)
+
+
+def make_trace(
+    cluster: str,
+    n_requests: int = 200_000,
+    seed: int = 17,
+    variable_size: bool = True,
+    uniform_size: int = 200,
+    scale: float = 1.0,
+    size_change_prob: float = 0.02,
+) -> Trace:
+    """Build the synthetic trace for one named Twitter cluster.
+
+    ``size_change_prob`` is the chance that a *set* rewrites the object with
+    a freshly drawn size (the OSDI'20 traces show sizes drifting over time);
+    it exercises the var-KRR size-update path.
+    """
+    if cluster not in CLUSTERS:
+        raise KeyError(
+            f"unknown Twitter cluster {cluster!r}; choose from {sorted(CLUSTERS)}"
+        )
+    rec = CLUSTERS[cluster]
+    rng = ensure_rng(seed)
+    n_objects = max(64, int(rec.n_objects * scale))
+
+    gen = ScrambledZipfGenerator(n_objects, rec.alpha, rng)
+    n_zipf = int(round(n_requests * (1.0 - rec.scan_fraction)))
+    if rec.scan_fraction > 0:
+        # Periodic *coherent* scan passes (cache-warming / range queries)
+        # spliced between Zipf bursts: contiguous passes preserve the
+        # LRU-pathological reuse structure that makes these clusters Type A.
+        scan_len = max(1, n_objects // 2)
+        scan_budget = n_requests - n_zipf
+        n_passes = max(1, scan_budget // scan_len)
+        burst = max(1, n_zipf // (n_passes + 1))
+        segments: list[np.ndarray] = []
+        zipf_left = n_zipf
+        scan_left = scan_budget
+        while zipf_left > 0 or scan_left > 0:
+            take = min(burst, zipf_left)
+            if take > 0:
+                segments.append(gen.sample(take))
+                zipf_left -= take
+            pass_take = min(scan_len, scan_left)
+            if pass_take > 0:
+                segments.append(patterns.sequential_scan(0, pass_take))
+                scan_left -= pass_take
+        keys = patterns.mix_phases(segments)
+    else:
+        keys = gen.sample(n_zipf)
+    keys = keys[:n_requests]
+
+    ops = np.where(rng.random(n_requests) < rec.write_ratio, OP_SET, OP_GET).astype(
+        np.int8
+    )
+
+    if variable_size:
+        per_obj = object_value_sizes(n_objects, rec.size_median, rec.size_sigma, rng)
+        sizes = per_obj[keys].copy()
+        # Occasional size drift on writes: redraw the object's size and let it
+        # stick for subsequent requests.
+        if size_change_prob > 0:
+            change = (ops == OP_SET) & (rng.random(n_requests) < size_change_prob)
+            idx = np.flatnonzero(change)
+            if idx.size:
+                new_sizes = object_value_sizes(
+                    idx.size, rec.size_median, rec.size_sigma, rng
+                )
+                current = per_obj.copy()
+                for j, i in enumerate(idx):
+                    current[keys[i]] = new_sizes[j]
+                # Recompute sizes after each change point, vectorized per segment.
+                sizes = per_obj[keys].copy()
+                live = per_obj.copy()
+                for j, i in enumerate(idx):
+                    live[keys[i]] = new_sizes[j]
+                    nxt = idx[j + 1] if j + 1 < idx.size else n_requests
+                    seg = keys[i:nxt]
+                    sizes[i:nxt] = live[seg]
+    else:
+        sizes = np.full(n_requests, int(uniform_size), dtype=np.int64)
+
+    suffix = "var" if variable_size else f"uni{uniform_size}"
+    return Trace(keys, sizes, ops, name=f"tw_{cluster}_{suffix}")
+
+
+def paper_twitter_suite(
+    n_requests: int = 150_000,
+    seed: int = 17,
+    variable_size: bool = False,
+    scale: float = 0.5,
+) -> list[Trace]:
+    """The four Twitter cluster traces used throughout §5."""
+    return [
+        make_trace(c, n_requests, seed + i, variable_size, scale=scale)
+        for i, c in enumerate(sorted(CLUSTERS))
+    ]

@@ -1,0 +1,125 @@
+"""YCSB core-workload generators (Workloads C and E).
+
+Reimplements the two Yahoo! Cloud Serving Benchmark workloads the paper
+evaluates (§5.2):
+
+* **Workload C** — 100% reads, keys drawn from a (scrambled) Zipfian
+  distribution with configurable ``alpha``.
+* **Workload E** — scan-dominant: each logical operation picks a *start key*
+  from a Zipfian distribution and then scans a uniform-random number of
+  consecutive keys.  Per the paper, the maximum scan length is configured to
+  the number of distinct objects in the workload.
+
+Both emit flat request :class:`~repro.workloads.trace.Trace` objects (a scan
+of length L becomes L consecutive get requests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import RngLike, check_positive, ensure_rng
+from .trace import OP_GET, Trace
+from .zipf import ScrambledZipfGenerator, ZipfGenerator
+
+
+def workload_c(
+    n_objects: int,
+    n_requests: int,
+    alpha: float = 0.99,
+    object_size: int = 200,
+    scrambled: bool = True,
+    rng: RngLike = None,
+    name: str | None = None,
+) -> Trace:
+    """YCSB Workload C: read-only Zipfian point lookups.
+
+    Parameters mirror the paper's setup: ``alpha`` in {0.5, 0.99, 1.5} and a
+    uniform 200-byte object size for the fixed-size experiments.
+    """
+    check_positive("n_objects", n_objects)
+    check_positive("n_requests", n_requests)
+    rng = ensure_rng(rng)
+    gen = (
+        ScrambledZipfGenerator(n_objects, alpha, rng)
+        if scrambled
+        else ZipfGenerator(n_objects, alpha, rng)
+    )
+    keys = gen.sample(n_requests)
+    sizes = np.full(n_requests, int(object_size), dtype=np.int64)
+    return Trace(keys, sizes, name=name or f"ycsb_C_a{alpha}")
+
+
+def workload_e(
+    n_objects: int,
+    n_scans: int,
+    alpha: float = 0.99,
+    max_scan_length: int | None = None,
+    object_size: int = 200,
+    rng: RngLike = None,
+    name: str | None = None,
+) -> Trace:
+    """YCSB Workload E: Zipfian start key + uniform-length forward scan.
+
+    ``max_scan_length`` defaults to ``n_objects`` as in the paper's
+    configuration ("the max scan length to be the same as the number of
+    distinct objects").  Scans wrap around the key space so every scan has
+    its full requested length.
+    """
+    check_positive("n_objects", n_objects)
+    check_positive("n_scans", n_scans)
+    rng = ensure_rng(rng)
+    if max_scan_length is None:
+        max_scan_length = n_objects
+    if max_scan_length < 1:
+        raise ValueError("max_scan_length must be >= 1")
+
+    start_gen = ZipfGenerator(n_objects, alpha, rng)
+    starts = start_gen.sample(n_scans)
+    lengths = rng.integers(1, max_scan_length + 1, size=n_scans)
+
+    total = int(lengths.sum())
+    keys = np.empty(total, dtype=np.int64)
+    pos = 0
+    for s, length in zip(starts, lengths):
+        li = int(length)
+        run = np.arange(s, s + li, dtype=np.int64)
+        np.mod(run, n_objects, out=run)
+        keys[pos : pos + li] = run
+        pos += li
+    sizes = np.full(total, int(object_size), dtype=np.int64)
+    return Trace(keys, sizes, name=name or f"ycsb_E_a{alpha}")
+
+
+def paper_ycsb_suite(
+    n_objects: int = 20_000,
+    n_requests: int = 200_000,
+    object_size: int = 200,
+    seed: int = 7,
+) -> list[Trace]:
+    """The six YCSB traces used in §5.3: C and E, each at alpha 0.5/0.99/1.5.
+
+    Sizes are scaled down from the paper's multi-million-object runs so that
+    ground-truth simulation sweeps stay laptop-friendly; the MRC *structure*
+    (skew, scan dominance) is parameter-identical.
+    """
+    traces: list[Trace] = []
+    for i, alpha in enumerate((0.5, 0.99, 1.5)):
+        traces.append(
+            workload_c(
+                n_objects, n_requests, alpha, object_size, rng=seed + i,
+                name=f"ycsb_C_a{alpha}",
+            )
+        )
+    for i, alpha in enumerate((0.5, 0.99, 1.5)):
+        # A scan averages max_scan/2 requests; choose scan count to land near
+        # n_requests total.  Cap max scan length for tractability.
+        max_scan = min(n_objects, 2_000)
+        n_scans = max(1, int(n_requests / (max_scan / 2)))
+        traces.append(
+            workload_e(
+                n_objects, n_scans, alpha, max_scan, object_size,
+                rng=seed + 10 + i, name=f"ycsb_E_a{alpha}",
+            )
+        )
+    return traces

@@ -1,0 +1,51 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import Trace, ycsb
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_zipf_trace() -> Trace:
+    """A modest Zipfian trace: 500 objects, 8000 requests."""
+    gen = ScrambledZipfGenerator(500, 0.9, rng=7)
+    return Trace(gen.sample(8_000), name="zipf500")
+
+
+@pytest.fixture
+def tiny_trace() -> Trace:
+    """A deterministic 12-request trace with repeats and a cold tail."""
+    keys = np.array([1, 2, 3, 1, 2, 4, 1, 5, 3, 2, 6, 1])
+    sizes = np.array([10, 20, 30, 10, 20, 40, 10, 50, 30, 20, 60, 10])
+    return Trace(keys, sizes, name="tiny")
+
+
+@pytest.fixture
+def scan_trace() -> Trace:
+    """A pure cyclic scan: LRU pathological, RR-friendly (Type A)."""
+    one_pass = np.arange(200, dtype=np.int64)
+    return Trace(np.tile(one_pass, 25), name="scan200")
+
+
+def brute_force_lru_distances(keys) -> list[int]:
+    """Oracle: LRU stack distances by explicit list manipulation."""
+    stack: list[int] = []
+    out: list[int] = []
+    for k in keys:
+        if k in stack:
+            d = stack.index(k) + 1
+            stack.remove(k)
+        else:
+            d = -1
+        stack.insert(0, k)
+        out.append(d)
+    return out

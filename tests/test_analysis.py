@@ -1,0 +1,69 @@
+"""Tests for Type A/B classification and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Classification,
+    classify_curves,
+    classify_trace,
+    render_series,
+    render_table,
+)
+from repro.mrc import MissRatioCurve
+from repro.workloads import Trace
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+
+class TestClassifier:
+    def test_loop_trace_is_type_a(self):
+        """A cyclic scan larger than any LRU-friendly size: K=1 beats LRU
+        dramatically, so the gap is large — Type A."""
+        one_pass = np.arange(300, dtype=np.int64)
+        trace = Trace(np.tile(one_pass, 30), name="loop")
+        c = classify_trace(trace, seed=0)
+        assert c.family == "A"
+        assert c.k_sensitive
+
+    def test_smooth_zipf_is_type_b(self):
+        gen = ScrambledZipfGenerator(600, 0.8, rng=1)
+        trace = Trace(gen.sample(15_000), name="zipf")
+        c = classify_trace(trace, seed=2)
+        assert c.family == "B"
+        assert not c.k_sensitive
+
+    def test_classify_curves_direct(self):
+        sizes = np.array([1.0, 10.0, 100.0])
+        a = MissRatioCurve(sizes, [0.9, 0.6, 0.2])
+        b = MissRatioCurve(sizes, [0.9, 0.6, 0.2])
+        assert classify_curves(a, b, name="same").family == "B"
+        c = MissRatioCurve(sizes, [0.5, 0.3, 0.1])
+        assert classify_curves(a, c, name="diff").family == "A"
+
+    def test_threshold_configurable(self):
+        sizes = np.array([1.0, 100.0])
+        a = MissRatioCurve(sizes, [0.50, 0.20])
+        b = MissRatioCurve(sizes, [0.48, 0.18])
+        assert classify_curves(a, b, threshold=0.001).family == "A"
+        assert classify_curves(a, b, threshold=0.5).family == "B"
+
+
+class TestTables:
+    def test_render_table_contains_cells(self):
+        out = render_table(["a", "b"], [[1, 0.5], [2, 0.25]], title="T")
+        assert "T" in out
+        assert "0.5" in out and "0.25" in out
+
+    def test_scientific_for_small_floats(self):
+        out = render_table(["x"], [[0.00001]])
+        assert "e-05" in out
+
+    def test_render_series_thinned(self):
+        xs = list(range(100))
+        ys = [1.0 - x / 100 for x in xs]
+        out = render_series("curve", xs, ys, max_points=5)
+        assert out.count("\n") < 30
+        assert "curve" in out
+
+    def test_render_series_empty(self):
+        assert "(empty)" in render_series("e", [], [])

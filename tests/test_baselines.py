@@ -1,0 +1,139 @@
+"""Tests for the LRU-MRC baselines: SHARDS, AET, StatStack, Counter Stacks."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CounterStacks,
+    FixedSizeShards,
+    Shards,
+    aet_mrc,
+    counterstacks_mrc,
+    shards_mrc,
+    statstack_mrc,
+)
+from repro.mrc import mean_absolute_error
+from repro.mrc.builder import from_distance_histogram
+from repro.stack.lru_stack import lru_histograms
+from repro.workloads import Trace
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+
+@pytest.fixture(scope="module")
+def zipf_trace():
+    gen = ScrambledZipfGenerator(2000, 0.9, rng=41)
+    return Trace(gen.sample(40_000), name="zipf2k")
+
+
+@pytest.fixture(scope="module")
+def exact_lru(zipf_trace):
+    hist, _ = lru_histograms(zipf_trace)
+    return from_distance_histogram(hist, label="LRU")
+
+
+class TestShards:
+    def test_rate_one_exact(self, zipf_trace, exact_lru):
+        sh = shards_mrc(zipf_trace, rate=1.0, adjustment=False)
+        grid = np.linspace(1, 2000, 50)
+        np.testing.assert_allclose(sh(grid), exact_lru(grid), atol=1e-12)
+
+    def test_sampled_accuracy(self, zipf_trace, exact_lru):
+        sh = shards_mrc(zipf_trace, rate=0.5, seed=1)
+        assert mean_absolute_error(exact_lru, sh) < 0.03
+
+    def test_streaming_equals_batch(self, zipf_trace):
+        a = Shards(rate=0.3, seed=2)
+        for key in zipf_trace.keys:
+            a.access(int(key))
+        b = Shards(rate=0.3, seed=2).process(zipf_trace)
+        np.testing.assert_allclose(a.mrc().miss_ratios, b.mrc().miss_ratios)
+
+    def test_counts_sampled_requests(self, zipf_trace):
+        sh = Shards(rate=0.2, seed=3).process(zipf_trace)
+        assert 0 < sh.requests_sampled < sh.requests_seen
+
+    def test_fixed_size_bounds_state(self, zipf_trace):
+        fs = FixedSizeShards(s_max=200, seed=4).process(zipf_trace)
+        assert len(fs._sampler) <= 200
+        curve = fs.mrc()
+        assert curve.miss_ratios[0] <= 1.0
+
+    def test_fixed_size_reasonable_accuracy(self, zipf_trace, exact_lru):
+        fs = FixedSizeShards(s_max=800, seed=5).process(zipf_trace)
+        assert mean_absolute_error(exact_lru, fs.mrc()) < 0.08
+
+
+class TestAET:
+    def test_matches_exact_lru_on_zipf(self, zipf_trace, exact_lru):
+        grid = np.linspace(50, 2000, 25)
+        curve = aet_mrc(zipf_trace, grid)
+        assert mean_absolute_error(exact_lru.resample(grid), curve) < 0.03
+
+    def test_miss_ratio_decreasing(self, zipf_trace):
+        grid = np.linspace(10, 2000, 30)
+        curve = aet_mrc(zipf_trace, grid)
+        assert (np.diff(curve.miss_ratios) <= 1e-9).all()
+
+    def test_empty_trace_rejected(self):
+        from repro.baselines import AETModel
+
+        with pytest.raises(ValueError):
+            AETModel(Trace(np.empty(0, dtype=np.int64)))
+
+    def test_full_cache_miss_ratio_is_cold_rate(self, zipf_trace):
+        from repro.baselines import AETModel
+
+        model = AETModel(zipf_trace)
+        cold_rate = zipf_trace.unique_objects() / len(zipf_trace)
+        assert model.miss_ratio(len(zipf_trace)) == pytest.approx(
+            cold_rate, abs=0.01
+        )
+
+
+class TestStatStack:
+    def test_matches_exact_lru_on_zipf(self, zipf_trace, exact_lru):
+        curve = statstack_mrc(zipf_trace)
+        grid = np.linspace(50, 2000, 25)
+        err = np.mean(np.abs(exact_lru(grid) - curve(grid)))
+        assert err < 0.04
+
+    def test_cold_access_infinite(self, zipf_trace):
+        from repro.baselines import StatStackModel
+
+        model = StatStackModel(zipf_trace)
+        assert model.expected_stack_distance(0) == float("inf")
+
+    def test_expected_distance_monotone_in_reuse_time(self, zipf_trace):
+        from repro.baselines import StatStackModel
+
+        model = StatStackModel(zipf_trace)
+        ds = [model.expected_stack_distance(r) for r in (1, 10, 100, 1000)]
+        assert all(a <= b for a, b in zip(ds, ds[1:]))
+
+
+class TestCounterStacks:
+    def test_coarse_agreement_with_exact_lru(self, zipf_trace, exact_lru):
+        curve = counterstacks_mrc(zipf_trace, downsample=500, prune_ratio=0.0)
+        grid = np.linspace(100, 2000, 20)
+        err = np.mean(np.abs(exact_lru(grid) - curve(grid)))
+        assert err < 0.08  # downsampling + HLL error budget
+
+    def test_pruning_reduces_counters(self, zipf_trace):
+        unpruned = CounterStacks(downsample=500, prune_ratio=0.0).process(zipf_trace)
+        pruned = CounterStacks(downsample=500, prune_ratio=0.05).process(zipf_trace)
+        unpruned.finish()
+        pruned.finish()
+        assert len(pruned._counters) < len(unpruned._counters)
+
+    def test_partial_chunk_flushed_by_finish(self):
+        cs = CounterStacks(downsample=100)
+        for k in range(50):
+            cs.access(k)
+        curve = cs.mrc()
+        assert curve.miss_ratios[-1] <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CounterStacks(downsample=0)
+        with pytest.raises(ValueError):
+            CounterStacks(prune_ratio=1.5)

@@ -1,0 +1,100 @@
+"""Tests for byte-level SHARDS and the extra Redis eviction policies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Shards
+from repro.mrc import mean_absolute_error
+from repro.simulator import RedisLikeCache, run_trace
+from repro.simulator.lru import ByteLRUCache
+from repro.stack.lru_stack import lru_histograms
+from repro.mrc.builder import from_byte_histogram
+from repro.workloads import Trace, twitter
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+
+class TestByteShards:
+    @pytest.fixture(scope="class")
+    def var_trace(self):
+        return twitter.make_trace("cluster26.0", 30_000, scale=0.2, seed=1)
+
+    def test_byte_mrc_requires_byte_bin(self):
+        s = Shards(rate=1.0)
+        s.access(1, 100)
+        with pytest.raises(RuntimeError):
+            s.byte_mrc()
+
+    def test_rate_one_matches_exact_byte_lru(self, var_trace):
+        s = Shards(rate=1.0, byte_bin=1024, adjustment=False).process(var_trace)
+        got = s.byte_mrc()
+        _, exact_hist = lru_histograms(var_trace, byte_bin=1024)
+        exact = from_byte_histogram(exact_hist)
+        grid = np.linspace(1024, exact.max_size(), 30)
+        np.testing.assert_allclose(got(grid), exact(grid), atol=1e-12)
+
+    def test_sampled_byte_mrc_accuracy(self, var_trace):
+        # Byte-level sampling carries extra variance (heavy-tailed object
+        # sizes make single sampled objects weighty); average over hash
+        # seeds to test the estimator rather than one draw.
+        _, exact_hist = lru_histograms(var_trace, byte_bin=1024)
+        exact = from_byte_histogram(exact_hist)
+        errs = []
+        for seed in (2, 3, 4):
+            s = Shards(rate=0.5, byte_bin=1024, seed=seed).process(var_trace)
+            errs.append(mean_absolute_error(exact, s.byte_mrc()))
+        assert np.mean(errs) < 0.05
+        assert min(errs) < 0.03
+
+    def test_sampled_byte_mrc_vs_byte_lru_simulation(self, var_trace):
+        """Sanity against the byte-capacity LRU simulator at two sizes."""
+        s = Shards(rate=1.0, byte_bin=1024, adjustment=False).process(var_trace)
+        curve = s.byte_mrc()
+        for frac in (0.25, 0.6):
+            cap = int(var_trace.footprint_bytes() * frac)
+            sim = ByteLRUCache(cap)
+            run_trace(sim, var_trace)
+            assert float(curve(cap)) == pytest.approx(sim.stats.miss_ratio, abs=0.02)
+
+    def test_streaming_equals_batch_with_bytes(self, var_trace):
+        a = Shards(rate=0.4, byte_bin=2048, seed=3)
+        for i in range(len(var_trace)):
+            a.access(int(var_trace.keys[i]), int(var_trace.sizes[i]))
+        b = Shards(rate=0.4, byte_bin=2048, seed=3).process(var_trace)
+        np.testing.assert_allclose(
+            a.byte_mrc().miss_ratios, b.byte_mrc().miss_ratios
+        )
+        assert a.requests_seen == b.requests_seen
+        assert a.requests_sampled == b.requests_sampled
+
+
+class TestRedisPolicies:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            RedisLikeCache(10, policy="volatile-ttl")
+
+    def test_allkeys_random_capacity(self):
+        c = RedisLikeCache(10, policy="allkeys-random", rng=0)
+        for k in range(300):
+            c.access(k)
+        assert len(c) == 10
+
+    def test_allkeys_random_matches_k1_lru(self):
+        """Random eviction == K-LRU with K=1, statistically."""
+        from repro.simulator import KLRUCache
+
+        gen = ScrambledZipfGenerator(400, 1.0, rng=1)
+        trace = Trace(gen.sample(12_000))
+        rand = RedisLikeCache(100, policy="allkeys-random", rng=2)
+        k1 = KLRUCache(100, 1, rng=3)
+        run_trace(rand, trace)
+        run_trace(k1, trace)
+        assert rand.stats.miss_ratio == pytest.approx(k1.stats.miss_ratio, abs=0.03)
+
+    def test_lru_policy_beats_random_on_skew(self):
+        gen = ScrambledZipfGenerator(400, 1.2, rng=4)
+        trace = Trace(gen.sample(12_000))
+        lru = RedisLikeCache(80, policy="allkeys-lru", rng=5)
+        rand = RedisLikeCache(80, policy="allkeys-random", rng=6)
+        run_trace(lru, trace)
+        run_trace(rand, trace)
+        assert lru.stats.miss_ratio < rand.stats.miss_ratio

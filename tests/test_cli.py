@@ -1,0 +1,123 @@
+"""Tests for the command-line interface (in-process via cli.main)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.workloads import Trace
+from repro.workloads.io import load_csv, save_csv, save_npz
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+
+@pytest.fixture
+def trace_csv(tmp_path):
+    gen = ScrambledZipfGenerator(500, 1.0, rng=3)
+    trace = Trace(gen.sample(8_000), name="clitest")
+    path = tmp_path / "trace.csv"
+    save_csv(trace, path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_generate_msr_csv(self, tmp_path, capsys):
+        out = tmp_path / "t.csv"
+        rc = main(["generate", "--suite", "msr", "--preset", "src1",
+                   "-n", "2000", "--scale", "0.05", "-o", str(out)])
+        assert rc == 0
+        assert len(load_csv(out)) == 2000
+
+    def test_generate_twitter_npz(self, tmp_path):
+        out = tmp_path / "t.npz"
+        rc = main(["generate", "--suite", "twitter", "--preset", "cluster26.0",
+                   "-n", "1000", "--scale", "0.05", "--variable-size",
+                   "-o", str(out)])
+        assert rc == 0
+        from repro.workloads.io import load_npz
+
+        t = load_npz(out)
+        assert not t.is_uniform_size()
+
+    def test_generate_ycsb_e(self, tmp_path):
+        out = tmp_path / "e.csv"
+        rc = main(["generate", "--suite", "ycsb", "--preset", "E",
+                   "-n", "2000", "--objects", "500", "-o", str(out)])
+        assert rc == 0
+
+    def test_generate_bad_ycsb_preset(self, tmp_path, capsys):
+        rc = main(["generate", "--suite", "ycsb", "--preset", "Z",
+                   "-n", "100", "-o", str(tmp_path / "x.csv")])
+        assert rc == 2
+
+
+class TestInfo:
+    def test_info_prints_stats(self, trace_csv, capsys):
+        assert main(["info", trace_csv]) == 0
+        out = capsys.readouterr().out
+        assert "requests        : 8000" in out
+        assert "distinct objects: " in out
+
+
+class TestModel:
+    def test_model_writes_curve(self, trace_csv, tmp_path, capsys):
+        out = tmp_path / "mrc.csv"
+        rc = main(["model", trace_csv, "--k", "4", "-o", str(out)])
+        assert rc == 0
+        lines = out.read_text().strip().splitlines()
+        assert lines[0] == "size,miss_ratio"
+        ratios = [float(l.split(",")[1]) for l in lines[1:]]
+        assert all(0 <= r <= 1 for r in ratios)
+
+    def test_model_stdout(self, trace_csv, capsys):
+        rc = main(["model", trace_csv, "--k", "2", "--rate", "0.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("size,miss_ratio")
+
+    def test_model_bytes_mode(self, tmp_path, capsys):
+        from repro.workloads import twitter
+
+        trace = twitter.make_trace("cluster26.0", 3_000, scale=0.05, seed=1)
+        path = tmp_path / "var.csv"
+        save_csv(trace, path)
+        rc = main(["model", str(path), "--bytes"])
+        assert rc == 0
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("policy", ["lru", "lfu", "hyperbolic"])
+    def test_simulate_policies(self, trace_csv, policy, capsys):
+        rc = main(["simulate", trace_csv, "--policy", policy, "--points", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 4
+
+    def test_simulate_with_ttl(self, trace_csv, capsys):
+        rc = main(["simulate", trace_csv, "--policy", "lru", "--points", "3",
+                   "--ttl", "1000"])
+        assert rc == 0
+
+
+class TestCompare:
+    def test_compare_reports_mae(self, trace_csv, capsys):
+        rc = main(["compare", trace_csv, "--k", "4", "--points", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MAE = " in out
+
+    def test_compare_fail_above(self, trace_csv, capsys):
+        rc = main(["compare", trace_csv, "--k", "4", "--points", "4",
+                   "--fail-above", "0.0000001"])
+        assert rc == 1
+
+
+class TestClassify:
+    def test_classify_zipf_is_b(self, trace_csv, capsys):
+        assert main(["classify", trace_csv]) == 0
+        assert "Type B" in capsys.readouterr().out
+
+    def test_classify_loop_is_a(self, tmp_path, capsys):
+        keys = np.tile(np.arange(300, dtype=np.int64), 30)
+        path = tmp_path / "loop.csv"
+        save_csv(Trace(keys, name="loop"), path)
+        assert main(["classify", str(path)]) == 0
+        assert "Type A" in capsys.readouterr().out

@@ -1,0 +1,38 @@
+"""Tests for the K' = K^1.4 correction (§4.2)."""
+
+import pytest
+
+from repro.core.correction import DEFAULT_EXPONENT, corrected_k, uncorrected_k
+
+
+def test_default_exponent_is_papers():
+    assert DEFAULT_EXPONENT == 1.4
+
+
+def test_k1_fixed_point():
+    assert corrected_k(1) == 1.0
+    assert corrected_k(1, exponent=3.0) == 1.0
+
+
+def test_correction_increases_k():
+    for k in (2, 5, 16, 32):
+        assert corrected_k(k) > k
+
+
+def test_known_values():
+    assert corrected_k(10) == pytest.approx(10**1.4)
+    assert corrected_k(4, exponent=2.0) == 16.0
+
+
+def test_round_trip():
+    for k in (1, 2, 7.5, 32):
+        assert uncorrected_k(corrected_k(k)) == pytest.approx(k)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        corrected_k(0.5)
+    with pytest.raises(ValueError):
+        corrected_k(2, exponent=0)
+    with pytest.raises(ValueError):
+        uncorrected_k(0.5)

@@ -1,0 +1,168 @@
+"""Edge cases and failure injection across the public API.
+
+Adversarial inputs a downstream user will eventually feed the library:
+single-object traces, all-unique streams, sparse 63-bit keys, degenerate
+cache sizes, malformed CSV files, and determinism guarantees.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import KRRModel, model_trace
+from repro.baselines import shards_mrc
+from repro.core.krr import KRRStack
+from repro.mrc import mean_absolute_error
+from repro.simulator import KLRUCache, LRUCache, run_trace
+from repro.stack.lru_stack import lru_histograms
+from repro.workloads import Trace
+from repro.workloads.io import load_csv
+
+
+class TestDegenerateTraces:
+    def test_single_object_trace(self):
+        trace = Trace(np.zeros(1000, dtype=np.int64), name="one-key")
+        curve = model_trace(trace, k=4, seed=0).mrc()
+        # One object: a size-1 cache captures everything but the cold miss.
+        assert float(curve(1)) == pytest.approx(1 / 1000)
+
+    def test_all_unique_trace(self):
+        trace = Trace(np.arange(5_000, dtype=np.int64), name="all-cold")
+        curve = model_trace(trace, k=4, seed=1).mrc()
+        # Every access is a cold miss at any size.
+        assert float(curve(2_500)) == 1.0
+
+    def test_two_alternating_keys(self):
+        trace = Trace(np.tile(np.array([7, 9], dtype=np.int64), 500))
+        curve = model_trace(trace, k=2, seed=2).mrc()
+        assert float(curve(2)) == pytest.approx(2 / 1000)
+
+    def test_sparse_large_keys(self):
+        """Keys near 2^62 must flow through hashing, stacks and simulators."""
+        base = np.int64(1) << np.int64(62)
+        keys = base + np.array([0, 5, 0, 9, 5, 0], dtype=np.int64)
+        trace = Trace(keys)
+        curve = model_trace(trace, k=2, seed=3).mrc()
+        assert 0 <= float(curve(2)) <= 1
+        cache = KLRUCache(2, 2, rng=0)
+        run_trace(cache, trace)
+        assert cache.stats.accesses == 6
+
+    def test_negative_keys(self):
+        trace = Trace(np.array([-5, -1, -5, -9, -1], dtype=np.int64))
+        curve = model_trace(trace, k=2, seed=4).mrc()
+        assert len(curve) >= 1
+
+    def test_single_request_trace(self):
+        trace = Trace(np.array([42], dtype=np.int64))
+        curve = model_trace(trace, k=3, seed=5).mrc()
+        assert float(curve(1)) == 1.0  # one cold miss, nothing else
+
+    def test_empty_model_raises_cleanly(self):
+        model = KRRModel(k=2, seed=0)
+        with pytest.raises(ValueError):
+            model.mrc()
+
+
+class TestDegenerateCacheSizes:
+    def test_size_one_lru(self, small_zipf_trace):
+        cache = LRUCache(1)
+        run_trace(cache, small_zipf_trace)
+        obj_hist, _ = lru_histograms(small_zipf_trace)
+        expected_hits = int(obj_hist.counts()[1])
+        assert cache.stats.hits == expected_hits
+
+    def test_klru_capacity_one(self, small_zipf_trace):
+        cache = KLRUCache(1, 5, rng=0)
+        run_trace(cache, small_zipf_trace)
+        assert len(cache) == 1
+
+    def test_klru_k_larger_than_capacity_with_replacement(self):
+        cache = KLRUCache(3, 100, rng=0)
+        for k in range(50):
+            cache.access(k)
+        assert len(cache) == 3
+
+
+class TestMalformedCSV:
+    def test_non_numeric_key_raises(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("key,size,op\nabc,1,get\n")
+        with pytest.raises(ValueError):
+            load_csv(p)
+
+    def test_unknown_op_raises(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("key,size,op\n1,1,frobnicate\n")
+        with pytest.raises(KeyError):
+            load_csv(p)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        p = tmp_path / "gaps.csv"
+        p.write_text("key\n1\n\n2\n\n")
+        assert len(load_csv(p)) == 2
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_text_never_crashes_unexpectedly(self, tmp_path_factory, text):
+        """The CSV loader may reject garbage, but only with ValueError /
+        KeyError — never index errors or silent corruption."""
+        p = tmp_path_factory.mktemp("fuzz") / "f.csv"
+        p.write_text("key\n" + text)
+        try:
+            trace = load_csv(p)
+        except (ValueError, KeyError):
+            return
+        assert len(trace) >= 0
+
+
+class TestDeterminism:
+    def test_model_deterministic_for_seed(self, small_zipf_trace):
+        a = model_trace(small_zipf_trace, k=5, seed=123).mrc()
+        b = model_trace(small_zipf_trace, k=5, seed=123).mrc()
+        np.testing.assert_array_equal(a.miss_ratios, b.miss_ratios)
+
+    def test_model_varies_with_seed(self, small_zipf_trace):
+        a = model_trace(small_zipf_trace, k=5, seed=1).mrc()
+        b = model_trace(small_zipf_trace, k=5, seed=2).mrc()
+        assert not np.array_equal(a.miss_ratios, b.miss_ratios)
+
+    def test_seed_variance_is_small(self, small_zipf_trace):
+        """Different seeds change individual draws but not the curve —
+        the simulation-error component of §5.3's error taxonomy."""
+        a = model_trace(small_zipf_trace, k=5, seed=1).mrc()
+        b = model_trace(small_zipf_trace, k=5, seed=2).mrc()
+        grid = np.linspace(10, 500, 25)
+        assert float(np.max(np.abs(a(grid) - b(grid)))) < 0.02
+
+    def test_shards_deterministic(self, small_zipf_trace):
+        a = shards_mrc(small_zipf_trace, rate=0.5, seed=3)
+        b = shards_mrc(small_zipf_trace, rate=0.5, seed=3)
+        np.testing.assert_array_equal(a.miss_ratios, b.miss_ratios)
+
+
+class TestStackStress:
+    def test_krr_stack_interleaved_ops_fuzz(self):
+        """Random access/remove interleavings keep every invariant."""
+        rng = np.random.default_rng(9)
+        stack = KRRStack(3, rng=10, track_sizes=True)
+        live: set[int] = set()
+        for step in range(2_000):
+            op = rng.random()
+            if op < 0.85 or not live:
+                key = int(rng.integers(0, 200))
+                stack.access(key, int(rng.integers(1, 100)))
+                live.add(key)
+            else:
+                key = int(rng.choice(list(live)))
+                stack.remove(key)
+                live.discard(key)
+            if step % 250 == 0:
+                order = stack.keys_in_stack_order()
+                assert sorted(order) == sorted(live)
+                sizes = stack.sizes_in_stack_order()
+                sa = stack._size_array
+                assert sa.total_bytes == sum(sizes)
+                for boundary, stored in sa.anchors:
+                    assert stored == sum(sizes[:boundary])

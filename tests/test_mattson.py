@@ -1,0 +1,133 @@
+"""Tests for the generic Mattson stack framework (the linear oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.stack.mattson import (
+    GenericStack,
+    krr_policy,
+    krr_stack,
+    lru_policy,
+    lru_stack,
+    rr_policy,
+    rr_stack,
+)
+
+from .conftest import brute_force_lru_distances
+
+
+class TestPolicies:
+    def test_lru_always_displaces(self):
+        assert lru_policy(1) == 1.0
+        assert lru_policy(100) == 1.0
+
+    def test_rr_is_krr_k1(self):
+        for i in (1, 2, 10, 500):
+            assert rr_policy(i) == pytest.approx(krr_policy(1)(i))
+
+    def test_krr_displacement_decreases_down_stack(self):
+        pol = krr_policy(4)
+        probs = [pol(i) for i in range(1, 100)]
+        assert probs[0] == 1.0
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_krr_large_k_approaches_lru(self):
+        pol = krr_policy(10_000)
+        assert pol(50) > 0.99
+
+    def test_krr_fractional_k(self):
+        pol = krr_policy(2.5)
+        assert 0 < pol(10) < 1
+
+    def test_krr_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            krr_policy(0)
+
+
+class TestGenericStackLRU:
+    def test_matches_brute_force_distances(self):
+        keys = [1, 2, 3, 1, 2, 4, 1, 5, 3, 2, 2]
+        s = lru_stack(rng=0)
+        got = [s.access(k) for k in keys]
+        assert got == brute_force_lru_distances(keys)
+
+    def test_stack_order_is_recency_order(self):
+        s = lru_stack(rng=0)
+        for k in (1, 2, 3, 1, 4):
+            s.access(k)
+        assert s.keys_in_stack_order() == [4, 1, 3, 2]
+
+    def test_position_of(self):
+        s = lru_stack(rng=0)
+        s.access(9)
+        assert s.position_of(9) == 1
+        assert s.position_of(42) == -1
+
+
+class TestGenericStackKRR:
+    def test_stack_is_permutation(self):
+        """Every update must keep the stack a permutation of seen keys."""
+        rng = np.random.default_rng(3)
+        s = krr_stack(4, rng=0)
+        seen = set()
+        for k in rng.integers(0, 40, size=500):
+            s.access(int(k))
+            seen.add(int(k))
+            order = s.keys_in_stack_order()
+            assert len(order) == len(set(order)) == len(seen)
+
+    def test_position_index_consistent(self):
+        rng = np.random.default_rng(4)
+        s = krr_stack(2, rng=1)
+        for k in rng.integers(0, 20, size=300):
+            s.access(int(k))
+        for pos, key in enumerate(s.keys_in_stack_order(), start=1):
+            assert s.position_of(key) == pos
+
+    def test_referenced_object_moves_to_top(self):
+        rng = np.random.default_rng(5)
+        s = krr_stack(8, rng=2)
+        for k in rng.integers(0, 30, size=200):
+            s.access(int(k))
+            assert s.keys_in_stack_order()[0] == int(k)
+
+    def test_huge_k_behaves_like_lru(self):
+        """With enormous K every position swaps: the update is LRU's shift."""
+        rng = np.random.default_rng(6)
+        keys = rng.integers(0, 25, size=400)
+        krr = krr_stack(1e12, rng=0)
+        lru = lru_stack(rng=0)
+        for k in keys:
+            assert krr.access(int(k)) == lru.access(int(k))
+        assert krr.keys_in_stack_order() == lru.keys_in_stack_order()
+
+    def test_swap_positions_always_include_endpoints(self):
+        s = krr_stack(3, rng=7)
+        for phi in (1, 2, 5, 50):
+            swaps = s.swap_positions_for_update(phi)
+            assert swaps[0] == 1
+            assert swaps[-1] == phi
+            assert swaps == sorted(set(swaps))
+
+    def test_swap_positions_rejects_bad_phi(self):
+        with pytest.raises(ValueError):
+            krr_stack(2, rng=0).swap_positions_for_update(0)
+
+
+class TestRRStack:
+    def test_rr_eviction_is_uniform(self):
+        """Mattson: RR's eviction from a size-C prefix is uniform over ranks.
+
+        We verify the per-position swap frequency follows 1/i over many
+        draws (the marginal of the RR policy).
+        """
+        s = rr_stack(rng=8)
+        phi = 20
+        hits = np.zeros(phi + 1)
+        trials = 4000
+        for _ in range(trials):
+            for p in s.swap_positions_for_update(phi):
+                hits[p] += 1
+        for i in (2, 5, 10, 19):
+            freq = hits[i] / trials
+            assert freq == pytest.approx(1.0 / i, abs=0.03)

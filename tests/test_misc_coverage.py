@@ -1,0 +1,133 @@
+"""Coverage for smaller public surfaces: suites, result objects, helpers."""
+
+import numpy as np
+import pytest
+
+from repro import KRRModel
+from repro._util import check_in_range, check_positive, check_sampling_size, ensure_rng
+from repro.core.model import KRRResult
+from repro.core.updates import _BufferedUniform
+from repro.simulator.base import CacheStats, run_trace
+from repro.simulator.lru import LRUCache
+from repro.workloads import Trace, msr, twitter, ycsb
+from repro.workloads.trace import OP_GET, OP_SET, op_code, op_name
+
+
+class TestUtil:
+    def test_ensure_rng_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_ensure_rng_from_int(self):
+        a = ensure_rng(5).random()
+        b = ensure_rng(5).random()
+        assert a == b
+
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_in_range_open_bounds(self):
+        check_in_range("r", 0.5, 0, 1, low_open=True, high_open=True)
+        with pytest.raises(ValueError):
+            check_in_range("r", 0.0, 0, 1, low_open=True)
+        with pytest.raises(ValueError):
+            check_in_range("r", 1.0, 0, 1, high_open=True)
+
+    def test_check_sampling_size_rejects_floats(self):
+        with pytest.raises(ValueError):
+            check_sampling_size(2.5)
+        assert check_sampling_size(np.int64(3)) == 3
+
+
+class TestOpCodes:
+    def test_round_trip(self):
+        for name in ("get", "set", "delete"):
+            assert op_name(op_code(name)) == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            op_code("explode")
+
+
+class TestBufferedUniform:
+    def test_block_refill_continues_stream(self):
+        rng = np.random.default_rng(1)
+        u = _BufferedUniform(rng, block=8)
+        draws = [u() for _ in range(25)]  # forces multiple refills
+        assert len(set(draws)) == 25
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+
+class TestPaperSuites:
+    def test_msr_suite_13_servers(self):
+        suite = msr.paper_msr_suite(n_requests=1_000, scale=0.03)
+        assert len(suite) == 13
+        assert all(len(t) == 1_000 for t in suite)
+        names = {t.name for t in suite}
+        assert len(names) == 13
+
+    def test_twitter_suite_4_clusters(self):
+        suite = twitter.paper_twitter_suite(n_requests=1_000, scale=0.05)
+        assert len(suite) == 4
+
+    def test_twitter_suite_variable_size_flag(self):
+        suite = twitter.paper_twitter_suite(
+            n_requests=500, scale=0.05, variable_size=True
+        )
+        assert any(not t.is_uniform_size() for t in suite)
+
+    def test_msr_block_sizes(self):
+        sizes = msr.object_block_sizes(1_000, rng=0)
+        assert set(np.unique(sizes)) <= {4096, 8192, 16384, 32768, 65536}
+
+
+class TestKRRResult:
+    def test_result_mirrors_model(self, small_zipf_trace):
+        model = KRRModel(k=3, seed=1)
+        result = model.process(small_zipf_trace)
+        assert isinstance(result, KRRResult)
+        assert result.k == 3
+        assert result.effective_k == model.effective_k
+        assert result.sampling_rate is None
+        np.testing.assert_array_equal(
+            result.mrc().miss_ratios, model.mrc().miss_ratios
+        )
+
+    def test_stats_shared(self, small_zipf_trace):
+        model = KRRModel(k=2, seed=2)
+        result = model.process(small_zipf_trace)
+        assert result.stats is model.stats
+
+
+class TestRunTrace:
+    def test_returns_stats(self, tiny_trace):
+        cache = LRUCache(2)
+        stats = run_trace(cache, tiny_trace)
+        assert isinstance(stats, CacheStats)
+        assert stats.accesses == len(tiny_trace)
+
+    def test_protocol_accepts_duck_typed_sim(self, tiny_trace):
+        class CountingSim:
+            def __init__(self):
+                self.stats = CacheStats()
+
+            def access(self, key, size=1):
+                self.stats.hits += 1
+                return True
+
+        stats = run_trace(CountingSim(), tiny_trace)
+        assert stats.hits == len(tiny_trace)
+
+
+class TestEvictionBounds:
+    def test_bound_small_phi(self):
+        from repro.core.eviction import expected_swap_positions_bound
+
+        assert expected_swap_positions_bound(1, 4) == 1.0
+        assert expected_swap_positions_bound(2, 4) == 1.0
+
+    def test_ycsb_workload_e_validation(self):
+        with pytest.raises(ValueError):
+            ycsb.workload_e(100, 5, max_scan_length=0)

@@ -1,0 +1,148 @@
+"""Tests for the cache-partitioning optimizers."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.mrc import MissRatioCurve
+from repro.partition import (
+    Tenant,
+    equal_partition,
+    greedy_partition,
+    miss_cost_of,
+    optimal_partition_dp,
+)
+
+
+def _curve(sizes, ratios):
+    return MissRatioCurve(np.asarray(sizes, float), np.asarray(ratios, float))
+
+
+def _steep_tenant(name, rate=1.0):
+    """Most benefit from the first few units (convex)."""
+    return Tenant(name, _curve([1, 5, 10, 50], [0.9, 0.3, 0.2, 0.15]), rate)
+
+
+def _flat_tenant(name, rate=1.0):
+    """Barely benefits from cache at all."""
+    return Tenant(name, _curve([1, 50], [0.95, 0.90]), rate)
+
+
+class TestTenant:
+    def test_zero_allocation_always_misses(self):
+        assert _steep_tenant("a").miss_cost(0) == 1.0
+
+    def test_rate_weights_cost(self):
+        t = _steep_tenant("a", rate=3.0)
+        assert t.miss_cost(10) == pytest.approx(3.0 * 0.2)
+
+
+class TestDP:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_partition_dp([], 10)
+        with pytest.raises(ValueError):
+            optimal_partition_dp([_steep_tenant("a")], 0)
+
+    def test_budget_fully_assigned(self):
+        tenants = [_steep_tenant("a"), _flat_tenant("b")]
+        res = optimal_partition_dp(tenants, 50)
+        assert sum(res.allocations.values()) == 50
+
+    def test_prefers_the_tenant_that_benefits(self):
+        tenants = [_steep_tenant("steep"), _flat_tenant("flat")]
+        res = optimal_partition_dp(tenants, 20)
+        assert res.allocations["steep"] > res.allocations["flat"]
+
+    def test_matches_brute_force(self):
+        tenants = [_steep_tenant("a"), _flat_tenant("b"),
+                   Tenant("c", _curve([1, 4, 12], [0.8, 0.5, 0.1]))]
+        budget = 15
+        best = min(
+            (
+                sum(t.miss_cost(a) for t, a in zip(tenants, alloc))
+                for alloc in itertools.product(range(budget + 1), repeat=3)
+                if sum(alloc) == budget
+            )
+        )
+        res = optimal_partition_dp(tenants, budget)
+        assert res.total_miss_cost == pytest.approx(best)
+
+    def test_unit_coarsening(self):
+        tenants = [_steep_tenant("a"), _flat_tenant("b")]
+        res = optimal_partition_dp(tenants, 100, unit=10)
+        assert all(a % 10 == 0 for a in res.allocations.values())
+
+    def test_respects_request_rates(self):
+        """Doubling a tenant's traffic should pull cache toward it."""
+        lo = optimal_partition_dp(
+            [_steep_tenant("a", 1.0), _steep_tenant("b", 1.0)], 10
+        )
+        hi = optimal_partition_dp(
+            [_steep_tenant("a", 1.0), _steep_tenant("b", 5.0)], 10
+        )
+        assert hi.allocations["b"] >= lo.allocations["b"]
+
+
+class TestGreedy:
+    def test_matches_dp_on_convex_curves(self):
+        tenants = [
+            Tenant("a", _curve([1, 10, 30], [0.9, 0.4, 0.2])),
+            Tenant("b", _curve([1, 10, 30], [0.7, 0.5, 0.45])),
+            Tenant("c", _curve([1, 20], [0.95, 0.1])),
+        ]
+        budget = 40
+        dp = optimal_partition_dp(tenants, budget)
+        gr = greedy_partition(tenants, budget)
+        assert gr.total_miss_cost == pytest.approx(dp.total_miss_cost, abs=0.02)
+
+    def test_never_worse_than_equal_split(self):
+        rng = np.random.default_rng(0)
+        for trial in range(10):
+            tenants = []
+            for i in range(4):
+                sizes = np.sort(rng.integers(1, 60, size=5))
+                sizes = np.unique(sizes)
+                ratios = np.sort(rng.random(sizes.shape[0]))[::-1]
+                tenants.append(Tenant(f"t{i}", _curve(sizes, ratios)))
+            budget = 60
+            gr = greedy_partition(tenants, budget)
+            eq = equal_partition(tenants, budget)
+            assert gr.total_miss_cost <= eq.total_miss_cost + 1e-9
+
+    def test_budget_assigned(self):
+        res = greedy_partition([_steep_tenant("a"), _flat_tenant("b")], 30)
+        assert sum(res.allocations.values()) == 30
+
+
+class TestEndToEndWithKRR:
+    def test_partition_from_krr_curves(self):
+        """Full pipeline: KRR MRCs for two contrasting workloads ->
+        optimized split beats the equal split, validated by simulation."""
+        from repro import model_trace
+        from repro.simulator import KLRUCache, run_trace
+        from repro.workloads import Trace
+        from repro.workloads.zipf import ScrambledZipfGenerator
+
+        hot = Trace(ScrambledZipfGenerator(400, 1.4, rng=1).sample(20_000), name="hot")
+        cold = Trace(ScrambledZipfGenerator(2_000, 0.3, rng=2).sample(20_000), name="cold")
+        tenants = [
+            Tenant("hot", model_trace(hot, k=5, seed=3).mrc()),
+            Tenant("cold", model_trace(cold, k=5, seed=4).mrc()),
+        ]
+        budget = 600
+        opt = greedy_partition(tenants, budget, unit=20)
+        eq = equal_partition(tenants, budget)
+        assert opt.total_miss_cost < eq.total_miss_cost
+
+        def simulate(alloc):
+            total_misses = 0
+            for trace, name in ((hot, "hot"), (cold, "cold")):
+                cap = max(1, alloc[name])
+                cache = KLRUCache(cap, 5, rng=5)
+                run_trace(cache, trace)
+                total_misses += cache.stats.misses
+            return total_misses
+
+        assert simulate(opt.allocations) <= simulate(eq.allocations)

@@ -1,0 +1,169 @@
+"""Tests for the sampled-eviction policy family (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.mrc import mean_absolute_error
+from repro.policies import (
+    ByteSampledPolicyCache,
+    SampledPolicyCache,
+    compare_policies,
+    hit_density_priority,
+    hyperbolic_priority,
+    lfu_priority,
+    lru_priority,
+    miniature_policy_mrc,
+    sampled_policy_mrc,
+)
+from repro.simulator import KLRUCache, run_trace
+from repro.workloads import Trace
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+
+def _zipf_trace(n_objects=600, n_requests=12_000, alpha=1.0, seed=0):
+    gen = ScrambledZipfGenerator(n_objects, alpha, rng=seed)
+    return Trace(gen.sample(n_requests), name="zipf")
+
+
+class TestSampledPolicyCache:
+    def test_capacity_respected(self):
+        c = SampledPolicyCache(10, 3, lru_priority, rng=0)
+        for k in range(100):
+            c.access(k)
+        assert len(c) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampledPolicyCache(0, 3, lru_priority)
+        with pytest.raises(ValueError):
+            SampledPolicyCache(5, 0, lru_priority)
+        with pytest.raises(ValueError):
+            SampledPolicyCache(5, 3, lru_priority, ttl=0)
+
+    def test_lru_priority_matches_klru_simulator(self):
+        """SampledPolicyCache(lru) must be statistically the same machine
+        as KLRUCache (with replacement)."""
+        trace = _zipf_trace(seed=1)
+        cap = 100
+        a = SampledPolicyCache(cap, 5, lru_priority, rng=2)
+        b = KLRUCache(cap, 5, rng=3)
+        for key in trace.keys:
+            a.access(int(key))
+        run_trace(b, trace)
+        assert a.stats.miss_ratio == pytest.approx(b.stats.miss_ratio, abs=0.02)
+
+    def test_frequency_tracked(self):
+        c = SampledPolicyCache(10, 2, lfu_priority, rng=0)
+        for _ in range(5):
+            c.access(7)
+        assert c.record_of(7).frequency == 5
+
+    def test_lfu_protects_frequent_objects(self):
+        """Under sampled LFU a hot object survives a scan that would flush
+        it from sampled LRU."""
+        hot_hits = {"lru": 0, "lfu": 0}
+        for name, priority in (("lru", lru_priority), ("lfu", lfu_priority)):
+            c = SampledPolicyCache(50, 8, priority, rng=4)
+            for _ in range(200):
+                c.access(0)  # very hot object
+            for k in range(1, 2000):  # long scan
+                c.access(k)
+            hot_hits[name] = 1 if 0 in c else 0
+        assert hot_hits["lfu"] >= hot_hits["lru"]
+
+    def test_hyperbolic_ages_stale_objects(self):
+        """Hyperbolic priority decays with age: an object hot long ago is
+        evicted before a recently popular one."""
+        c = SampledPolicyCache(2, 8, hyperbolic_priority, rng=5)
+        for _ in range(50):
+            c.access(1)  # burst long ago: frequency 50, but aging ever since
+        for _ in range(2000):
+            c.access(2)  # steadily hot
+        c.access(3)  # forces one eviction between 1 and 2
+        # freq/age: object 1 ~ 50/2000, object 2 ~ 2000/2000 -> 1 evicted.
+        assert 2 in c and 1 not in c
+
+
+class TestTTL:
+    def test_expired_object_misses(self):
+        c = SampledPolicyCache(10, 2, lru_priority, ttl=5, rng=0)
+        c.access(1)
+        for k in range(2, 6):
+            c.access(k)
+        # 5 requests have passed; object 1 is expired now.
+        assert c.access(1) is False
+
+    def test_fresh_object_hits(self):
+        c = SampledPolicyCache(10, 2, lru_priority, ttl=100, rng=0)
+        c.access(1)
+        assert c.access(1) is True
+
+    def test_expired_objects_preferred_victims(self):
+        c = SampledPolicyCache(5, 5, lru_priority, ttl=10, rng=1)
+        for k in range(5):
+            c.access(k)
+        for _ in range(20):
+            c.access(0)  # keep 0 fresh; 1-4 expire
+        c.access(99)  # eviction should hit an expired object, not 0
+        assert 0 in c
+
+
+class TestByteSampledPolicyCache:
+    def test_byte_budget(self):
+        c = ByteSampledPolicyCache(1000, 5, lru_priority, rng=0)
+        rng = np.random.default_rng(1)
+        for k in rng.integers(0, 100, size=400):
+            c.access(int(k), int(rng.integers(1, 150)))
+        assert c.used_bytes <= 1000
+
+    def test_oversized_skipped(self):
+        c = ByteSampledPolicyCache(100, 2, lru_priority, rng=0)
+        assert c.access(1, 500) is False
+        assert len(c) == 0
+
+    def test_hit_density_evicts_large_cold_first(self):
+        c = ByteSampledPolicyCache(300, 8, hit_density_priority, rng=2)
+        c.access(1, 200)  # large
+        for _ in range(50):
+            c.access(2, 10)  # small, hot
+        c.access(3, 150)  # forces eviction: large cold object 1 should go
+        assert 2 in c
+
+
+class TestPolicyMRCs:
+    def test_sampled_policy_mrc_monotone_trend(self):
+        trace = _zipf_trace(seed=6)
+        curve = sampled_policy_mrc(trace, "lfu", k=4, n_points=6, rng=7)
+        assert curve.miss_ratios[0] > curve.miss_ratios[-1]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            sampled_policy_mrc(_zipf_trace(), "magic")
+
+    def test_lru_policy_mrc_matches_klru_mrc(self):
+        from repro.simulator import klru_mrc
+
+        trace = _zipf_trace(seed=8)
+        a = sampled_policy_mrc(trace, "lru", k=5, n_points=6, rng=9)
+        b = klru_mrc(trace, 5, n_points=6, rng=10)
+        assert mean_absolute_error(a, b) < 0.02
+
+    def test_miniature_matches_full_sweep(self):
+        trace = _zipf_trace(n_objects=1500, n_requests=30_000, seed=11)
+        full = sampled_policy_mrc(trace, "lfu", k=4, n_points=6, rng=12)
+        mini = miniature_policy_mrc(trace, "lfu", k=4, rate=0.5, n_points=6, rng=13)
+        assert mean_absolute_error(full, mini) < 0.05
+
+    def test_compare_policies_returns_all(self):
+        trace = _zipf_trace(seed=14)
+        curves = compare_policies(trace, ["lru", "lfu", "fifo"], k=3, n_points=4, rng=15)
+        assert set(curves) == {"lru", "lfu", "fifo"}
+
+    def test_custom_priority_callable(self):
+        trace = _zipf_trace(seed=16)
+
+        def newest_first(rec, now):
+            return -rec.last_access  # evict the *most* recent (MRU-ish)
+
+        curve = sampled_policy_mrc(trace, newest_first, k=4, n_points=4, rng=17)
+        assert len(curve) == 4

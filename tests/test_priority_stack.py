@@ -1,0 +1,194 @@
+"""Tests for the exact priority stacks (OPT / LFU / MRU) and HOTL."""
+
+import numpy as np
+import pytest
+
+from repro.mrc import mean_absolute_error
+from repro.mrc.builder import from_distance_histogram
+from repro.stack.histogram import DistanceHistogram
+from repro.stack.lru_stack import lru_histograms
+from repro.stack.priority_stack import (
+    PriorityStack,
+    lfu_distances,
+    lfu_mrc,
+    mru_distances,
+    opt_distances,
+    opt_mrc,
+)
+from repro.analysis.locality import average_footprint, hotl_mrc, working_set_curve
+from repro.workloads import Trace
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+from .conftest import brute_force_lru_distances
+
+
+def _zipf_trace(n_objects=300, n_requests=6_000, seed=0):
+    gen = ScrambledZipfGenerator(n_objects, 1.0, rng=seed)
+    return Trace(gen.sample(n_requests), name="zipf")
+
+
+class TestPriorityStackLRU:
+    def test_recency_priority_reproduces_lru(self):
+        """PriorityStack with recency priority == the LRU oracle."""
+        clock = {"t": 0}
+        rec: dict[int, int] = {}
+        stack = PriorityStack(lambda k: rec.get(k, 0))
+        keys = [1, 2, 3, 1, 2, 4, 1, 5, 3, 2]
+        got = []
+        for k in keys:
+            clock["t"] += 1
+            rec[k] = clock["t"]
+            got.append(stack.access(k))
+        assert got == brute_force_lru_distances(keys)
+
+
+class TestOPT:
+    def _brute_force_opt_misses(self, keys, capacity):
+        """Belady's algorithm simulated directly at one cache size."""
+        n = len(keys)
+        misses = 0
+        cache: set[int] = set()
+        for i, k in enumerate(keys):
+            if k in cache:
+                continue_hit = True
+            else:
+                continue_hit = False
+                misses += 1
+                if len(cache) >= capacity:
+                    # Evict the resident with the farthest next use.
+                    far_key, far_next = None, -1
+                    for r in cache:
+                        nxt = n + 1
+                        for j in range(i + 1, n):
+                            if keys[j] == r:
+                                nxt = j
+                                break
+                        if nxt > far_next:
+                            far_key, far_next = r, nxt
+                    cache.remove(far_key)
+                cache.add(k)
+        return misses
+
+    def test_opt_distances_match_belady_simulation(self):
+        rng = np.random.default_rng(1)
+        keys = [int(x) for x in rng.integers(0, 12, size=150)]
+        trace = Trace(np.array(keys))
+        dists = opt_distances(trace)
+        for capacity in (2, 4, 8):
+            hits = int(np.sum((dists > 0) & (dists <= capacity)))
+            expected_misses = self._brute_force_opt_misses(keys, capacity)
+            assert len(keys) - hits == expected_misses, capacity
+
+    def test_opt_lower_bounds_lru(self, small_zipf_trace):
+        opt = opt_mrc(small_zipf_trace)
+        hist, _ = lru_histograms(small_zipf_trace)
+        lru = from_distance_histogram(hist)
+        grid = np.linspace(10, 500, 30)
+        assert (opt(grid) <= lru(grid) + 1e-9).all()
+
+    def test_opt_on_loop_is_perfectly_efficient(self):
+        """On a cyclic loop of L objects, OPT at size C hits (C-1)/L of
+        post-warmup accesses (keep C-1 loop members pinned)."""
+        L, C, passes = 50, 10, 40
+        keys = np.tile(np.arange(L, dtype=np.int64), passes)
+        dists = opt_distances(Trace(keys))
+        hits = int(np.sum((dists > 0) & (dists <= C)))
+        total = keys.shape[0]
+        hit_ratio = hits / total
+        expected = (C - 1) / L * (passes - 1) / passes
+        assert hit_ratio == pytest.approx(expected, abs=0.02)
+
+
+class TestLFU:
+    def test_lfu_stack_orders_by_frequency(self):
+        trace = Trace(np.array([1, 1, 1, 2, 2, 3, 1]))
+        dists = lfu_distances(trace)
+        # Before the final access: 3 was just referenced (top, per Eq 2.1a)
+        # and 1 (count 3) out-prioritizes 2 (count 2), so the stack is
+        # [3, 1, 2] and the final access to 1 has distance 2 — an LFU cache
+        # of capacity 2 hits it, capacity 1 (holding only 3) misses.
+        assert dists[-1] == 2
+
+    def test_lfu_beats_lru_on_frequency_skew(self):
+        """Hot-set + scan: LFU retains the hot set where LRU flushes it."""
+        hot = np.tile(np.arange(20, dtype=np.int64), 50)
+        scan = np.arange(100, 1100, dtype=np.int64)
+        mixed = np.concatenate([hot[:500], scan, hot[500:]])
+        trace = Trace(mixed)
+        lfu = lfu_mrc(trace)
+        hist, _ = lru_histograms(trace)
+        lru = from_distance_histogram(hist)
+        c = 30
+        assert float(lfu(c)) < float(lru(c))
+
+
+class TestMRU:
+    def test_mru_differs_from_lru(self, small_zipf_trace):
+        mru_d = mru_distances(small_zipf_trace)
+        hist, _ = lru_histograms(small_zipf_trace)
+        lru_counts = hist.counts()
+        mru_hist = DistanceHistogram()
+        for d in mru_d:
+            mru_hist.record(int(d) if d > 0 else 0)
+        assert not np.array_equal(
+            mru_hist.counts()[: lru_counts.shape[0]], lru_counts
+        )
+
+    def test_mru_wins_on_loops(self):
+        """MRU is the classic loop-friendly policy: on a cyclic scan it
+        beats LRU at sizes below the loop length."""
+        keys = np.tile(np.arange(40, dtype=np.int64), 25)
+        trace = Trace(keys)
+        mru_d = mru_distances(trace)
+        c = 20
+        mru_hits = int(np.sum((mru_d > 0) & (mru_d <= c)))
+        hist, _ = lru_histograms(trace)
+        lru_curve = from_distance_histogram(hist)
+        mru_mr = 1 - mru_hits / len(trace)
+        assert mru_mr < float(lru_curve(c))
+
+
+class TestFootprintHOTL:
+    def test_footprint_monotone_and_bounded(self, small_zipf_trace):
+        fp = average_footprint(small_zipf_trace)
+        assert fp[0] == 0
+        assert (np.diff(fp) >= -1e-9).all()
+        assert fp[-1] == small_zipf_trace.unique_objects()
+
+    def test_footprint_exact_small_case(self):
+        # Trace a b a b: windows of length 2: (a,b) (b,a) (a,b) -> fp(2)=2.
+        trace = Trace(np.array([1, 2, 1, 2]))
+        fp = average_footprint(trace)
+        assert fp[1] == pytest.approx(1.0)
+        assert fp[2] == pytest.approx(2.0)
+        assert fp[4] == pytest.approx(2.0)
+
+    def test_footprint_brute_force(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 8, size=60)
+        trace = Trace(keys)
+        fp = average_footprint(trace)
+        for w in (1, 3, 7, 20):
+            windows = [
+                len(set(keys[i : i + w].tolist()))
+                for i in range(len(keys) - w + 1)
+            ]
+            assert fp[w] == pytest.approx(np.mean(windows)), w
+
+    def test_hotl_matches_exact_lru(self):
+        trace = _zipf_trace(seed=3)
+        hotl = hotl_mrc(trace)
+        hist, _ = lru_histograms(trace)
+        lru = from_distance_histogram(hist)
+        grid = np.linspace(20, 280, 20)
+        err = float(np.mean(np.abs(hotl(grid) - lru(grid))))
+        assert err < 0.05
+
+    def test_working_set_curve_shape(self, small_zipf_trace):
+        ws, fp = working_set_curve(small_zipf_trace, n_points=20)
+        assert ws.shape == fp.shape
+        assert (np.diff(fp) >= -1e-9).all()
+
+    def test_hotl_short_trace_rejected(self):
+        with pytest.raises(ValueError):
+            hotl_mrc(Trace(np.array([1])))

@@ -1,0 +1,139 @@
+"""Tests for key hashing and spatial sampling (§2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    FixedSizeSpatialSampler,
+    SpatialSampler,
+    choose_rate,
+    hash_to_unit,
+    splitmix64,
+)
+
+
+class TestHashing:
+    def test_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+        assert splitmix64(42, seed=1) != splitmix64(42, seed=2)
+
+    def test_scalar_vs_vector_agree(self):
+        keys = np.array([0, 1, 2, 10**12], dtype=np.int64)
+        vec = splitmix64(keys)
+        for k, h in zip(keys, vec):
+            assert splitmix64(int(k)) == int(h)
+
+    def test_uniformity(self):
+        """Hashed sequential keys spread uniformly over [0, 1)."""
+        u = hash_to_unit(np.arange(50_000))
+        hist, _ = np.histogram(u, bins=10, range=(0, 1))
+        assert hist.min() > 4_500 and hist.max() < 5_500
+
+    def test_unit_range(self):
+        u = hash_to_unit(np.arange(1000))
+        assert u.min() >= 0 and u.max() < 1
+
+
+class TestSpatialSampler:
+    def test_rate_property(self):
+        s = SpatialSampler(0.01)
+        assert s.rate == pytest.approx(0.01, rel=0.01)
+        assert s.scale == pytest.approx(1 / s.rate)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            SpatialSampler(0.0)
+        with pytest.raises(ValueError):
+            SpatialSampler(1.5)
+
+    def test_rate_one_keeps_everything(self):
+        s = SpatialSampler(1.0)
+        assert s.mask(np.arange(100)).all()
+
+    def test_keep_is_per_key_not_per_request(self):
+        """All requests to one key share a single decision — the property
+        stack-distance analysis requires."""
+        s = SpatialSampler(0.3)
+        for key in range(50):
+            decisions = {s.keep(key) for _ in range(5)}
+            assert len(decisions) == 1
+
+    def test_empirical_rate(self):
+        s = SpatialSampler(0.1)
+        kept = s.mask(np.arange(100_000)).mean()
+        assert kept == pytest.approx(0.1, abs=0.01)
+
+    def test_mask_matches_keep(self):
+        s = SpatialSampler(0.25, seed=3)
+        keys = np.arange(500)
+        mask = s.mask(keys)
+        for k in keys:
+            assert mask[k] == s.keep(int(k))
+
+    def test_filter_indices(self):
+        s = SpatialSampler(0.5, seed=1)
+        keys = np.arange(100)
+        idx = s.filter_indices(keys)
+        np.testing.assert_array_equal(idx, np.flatnonzero(s.mask(keys)))
+
+    def test_different_seeds_differ(self):
+        keys = np.arange(1000)
+        m1 = SpatialSampler(0.2, seed=0).mask(keys)
+        m2 = SpatialSampler(0.2, seed=9).mask(keys)
+        assert (m1 != m2).any()
+
+
+class TestChooseRate:
+    def test_large_working_set_uses_default(self):
+        assert choose_rate(100_000_000) == 0.001
+
+    def test_small_working_set_raised(self):
+        rate = choose_rate(100_000)
+        assert rate == pytest.approx(8_000 / 100_000)
+
+    def test_tiny_working_set_capped_at_one(self):
+        assert choose_rate(100) == 1.0
+
+    def test_min_objects_guarantee(self):
+        for m in (10_000, 1_000_000, 20_000_000):
+            rate = choose_rate(m)
+            assert m * rate >= 8_000 - 1e-6 or rate == 0.001
+
+
+class TestFixedSizeSampler:
+    def test_tracks_at_most_smax(self):
+        evicted = []
+        s = FixedSizeSpatialSampler(s_max=50, on_evict=evicted.append)
+        for key in range(5000):
+            s.offer(key)
+        assert len(s) <= 50
+        assert evicted  # shrinks must have happened
+
+    def test_threshold_only_decreases(self):
+        s = FixedSizeSpatialSampler(s_max=20)
+        last = s.threshold
+        for key in range(2000):
+            s.offer(key)
+            assert s.threshold <= last
+            last = s.threshold
+
+    def test_rejected_keys_stay_rejected(self):
+        s = FixedSizeSpatialSampler(s_max=10)
+        for key in range(1000):
+            s.offer(key)
+        # After convergence, any key rejected now must be rejected again.
+        for key in range(200):
+            first = s.offer(key)
+            second = s.offer(key)
+            assert first == second
+
+    def test_accepted_keys_hash_below_threshold(self):
+        s = FixedSizeSpatialSampler(s_max=30, seed=2)
+        for key in range(3000):
+            s.offer(key)
+        for key, h in s._tracked.items():
+            assert h < s.threshold
+
+    def test_rejects_bad_smax(self):
+        with pytest.raises(ValueError):
+            FixedSizeSpatialSampler(0)

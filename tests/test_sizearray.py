@@ -1,0 +1,153 @@
+"""Tests for the SizeArray prefix-byte tracker (§4.4.1, Algorithm 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.krr import KRRStack
+from repro.core.sizearray import SizeArray
+
+
+class TestAppend:
+    def test_anchor_creation_base2(self):
+        sa = SizeArray(base=2)
+        for size in (10, 20, 30, 40, 50):
+            sa.append(size)
+        # Anchors at positions 1, 2, 4 with the totals at creation time.
+        assert sa.anchors == [(1, 10), (2, 30), (4, 100)]
+        assert sa.total_bytes == 150
+
+    def test_anchor_creation_base4(self):
+        sa = SizeArray(base=4)
+        for _ in range(20):
+            sa.append(1)
+        assert [b for b, _ in sa.anchors] == [1, 4, 16]
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            SizeArray(base=1)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            SizeArray().append(-1)
+
+
+class TestByteDistance:
+    def test_exact_at_anchor(self):
+        sa = SizeArray(base=2)
+        for size in (10, 20, 30, 40):
+            sa.append(size)
+        assert sa.byte_distance(1) == 10
+        assert sa.byte_distance(2) == 30
+        assert sa.byte_distance(4) == 100
+
+    def test_interpolation_between_anchors(self):
+        sa = SizeArray(base=2)
+        for size in (10, 20, 30, 40):
+            sa.append(size)
+        # phi=3 between anchors 2 (sum 30) and 4 (sum 100): 30 + 70/2.
+        assert sa.byte_distance(3) == pytest.approx(65.0)
+
+    def test_past_last_anchor_uses_total(self):
+        sa = SizeArray(base=2)
+        for size in (10, 20, 30, 40, 50, 60):  # anchors 1,2,4; length 6
+            sa.append(size)
+        # phi=5 between anchor 4 (sum 100) and stack end 6 (total 210).
+        assert sa.byte_distance(5) == pytest.approx(100 + 110 / 2)
+
+    def test_out_of_range(self):
+        sa = SizeArray()
+        sa.append(1)
+        with pytest.raises(ValueError):
+            sa.byte_distance(0)
+        with pytest.raises(ValueError):
+            sa.byte_distance(2)
+
+
+class TestApplyUpdate:
+    def _build(self, sizes):
+        sa = SizeArray(base=2)
+        for s in sizes:
+            sa.append(s)
+        return sa
+
+    def test_prefix_patch_single_swap_chain(self):
+        """swaps {1, 3, 6}, referenced at 6: anchor prefixes lose the
+        largest-swap<=boundary resident and gain the referenced object."""
+        sizes = [10, 20, 30, 40, 50, 60]
+        sa = self._build(sizes)
+        # Residents at swap positions 1, 3, 6 have sizes 10, 30, 60.
+        sa.apply_update([1, 3, 6], [10, 30, 60], new_size=60, old_size=60)
+        # Anchor 1 (< phi): -10 (resident at swap 1 leaves) + 60 = 60.
+        # Anchor 2 (< phi): largest swap <= 2 is 1: -10 + 60 -> 30+50=80.
+        # Anchor 4 (< phi): largest swap <= 4 is 3: -30 + 60 -> 100+30=130.
+        assert sa.anchors == [(1, 60), (2, 80), (4, 130)]
+        assert sa.total_bytes == 210
+
+    def test_size_change_propagates_to_tail_anchors(self):
+        sizes = [10, 20, 30, 40]
+        sa = self._build(sizes)
+        # Hit at phi=2 with a size change 20 -> 25: swaps {1, 2}.
+        sa.apply_update([1, 2], [10, 20], new_size=25, old_size=20)
+        # Anchor 1: -10 + 25 = 25.  Anchors >= phi: +5.
+        assert sa.anchors == [(1, 25), (2, 35), (4, 105)]
+        assert sa.total_bytes == 105
+
+    def test_phi_one_only_size_delta(self):
+        sizes = [10, 20]
+        sa = self._build(sizes)
+        sa.apply_update([1], [10], new_size=15, old_size=10)
+        assert sa.anchors == [(1, 15), (2, 35)]
+
+
+class TestAgainstExactOracle:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(1, 100)),
+            min_size=5,
+            max_size=200,
+        ),
+        st.integers(2, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_anchor_sums_stay_exact(self, reqs, base):
+        """After arbitrary request sequences, every anchor's stored sum must
+        equal the true prefix sum of the live stack — the core correctness
+        property of the Figure 4.4 patching scheme."""
+        stack = KRRStack(3, strategy="backward", rng=5, track_sizes=True,
+                         size_array_base=base)
+        for key, size in reqs:
+            stack.access(key, size)
+        sa = stack._size_array
+        sizes_in_order = stack.sizes_in_stack_order()
+        for boundary, stored in sa.anchors:
+            exact = sum(sizes_in_order[:boundary])
+            assert stored == exact
+        assert sa.total_bytes == sum(sizes_in_order)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.integers(1, 50)),
+            min_size=5,
+            max_size=120,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_estimate_bounded_by_neighbor_anchors(self, reqs):
+        stack = KRRStack(2, strategy="linear", rng=6, track_sizes=True)
+        for key, size in reqs:
+            stack.access(key, size)
+        sa = stack._size_array
+        n = len(stack)
+        exact = np.cumsum(stack.sizes_in_stack_order())
+        for phi in range(1, n + 1):
+            est = sa.byte_distance(phi)
+            # The estimate must stay within the total byte range and within
+            # the exact sums at bracketing powers of the base.
+            assert 0 <= est <= sa.total_bytes + 1e-9
+            lo_anchor = 1
+            while lo_anchor * sa.base <= phi:
+                lo_anchor *= sa.base
+            hi = min(n, lo_anchor * sa.base)
+            assert exact[lo_anchor - 1] - 1e-9 <= est <= exact[hi - 1] + 1e-9

@@ -1,0 +1,113 @@
+"""Deep statistical properties of the KRR stack (§4.2's correctness core).
+
+These go beyond per-update marginals: they measure the *emergent* behavior
+of the full machine — the eviction distribution of Equation 4.2, the
+spatial-sampling distance rescaling semantics, and the model's convergence
+with trace length.
+"""
+
+import numpy as np
+import pytest
+
+from repro import KRRModel, model_trace
+from repro.core.eviction import krr_eviction_prob
+from repro.core.krr import KRRStack
+from repro.mrc import mean_absolute_error
+from repro.simulator import klru_mrc
+from repro.workloads import Trace
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+
+class TestEquation42Emergent:
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_prefix_departure_distribution(self, k):
+        """Equation 4.2 measured on the live stack: when an update's hit
+        position phi exceeds a prefix size C, exactly one object leaves the
+        prefix — the resident at the largest swap position <= C — and its
+        position d must follow (d^K - (d-1)^K) / C^K."""
+        rng = np.random.default_rng(k)
+        stack = KRRStack(k, rng=100 + k)
+        n_objects = 60
+        C = 12
+        # Warm up.
+        for key in rng.integers(0, n_objects, size=500):
+            stack.access(int(key))
+        counts = np.zeros(C + 1)
+        trials = 0
+        for key in rng.integers(0, n_objects, size=40_000):
+            key = int(key)
+            phi = stack.position_of(key)
+            if phi != -1 and phi <= C:
+                stack.access(key)
+                continue
+            prefix_before = stack.keys_in_stack_order()[:C]
+            stack.access(key)
+            prefix_after = set(stack.keys_in_stack_order()[:C])
+            left = [x for x in prefix_before if x not in prefix_after]
+            assert len(left) == 1
+            counts[prefix_before.index(left[0]) + 1] += 1
+            trials += 1
+        freq = counts[1:] / trials
+        expected = krr_eviction_prob(np.arange(1, C + 1), C, k)
+        tol = 4 * np.sqrt(expected * (1 - expected) / trials) + 0.01
+        assert (np.abs(freq - expected) <= tol).all(), (freq, expected)
+
+
+class TestSpatialSemantics:
+    def test_distances_scale_inverse_rate(self):
+        """A sampled stack's distances stand for true distances 1/R larger:
+        the MRC from a sampled run must stretch horizontally by 1/R."""
+        gen = ScrambledZipfGenerator(5_000, 0.8, rng=1)
+        trace = Trace(gen.sample(80_000))
+        full = model_trace(trace, k=1, seed=2).mrc()
+        sampled_model = KRRModel(k=1, sampling_rate=0.25, seed=3)
+        sampled = sampled_model.process(trace).mrc()
+        # Compare at matching absolute sizes — the rescale already applied.
+        grid = np.linspace(500, 5_000, 10)
+        err = float(np.mean(np.abs(full(grid) - sampled(grid))))
+        assert err < 0.04
+
+    def test_sampled_histogram_max_distance_bounded_by_sample(self):
+        gen = ScrambledZipfGenerator(2_000, 0.8, rng=4)
+        trace = Trace(gen.sample(30_000))
+        model = KRRModel(k=2, sampling_rate=0.1, seed=5)
+        model.process(trace)
+        # The raw stack never holds more than the sampled distinct objects.
+        sampled_unique = model.stats.requests_sampled  # upper bound
+        assert len(model._stack) <= sampled_unique
+
+
+class TestConvergence:
+    def test_model_error_shrinks_with_trace_length(self):
+        """KRR's simulation error decays as the trace grows (more updates
+        average out the probabilistic swaps)."""
+        gen = ScrambledZipfGenerator(1_000, 1.0, rng=6)
+        keys = gen.sample(120_000)
+        errors = []
+        for n in (10_000, 120_000):
+            trace = Trace(keys[:n])
+            truth = klru_mrc(trace, 4, n_points=8, rng=7)
+            pred = model_trace(trace, k=4, seed=8).mrc()
+            errors.append(mean_absolute_error(truth, pred))
+        assert errors[1] <= errors[0] + 0.002
+
+    def test_mrc_monotone_after_envelope(self):
+        """Raw KRR curves may wiggle by simulation noise, but the wiggle is
+        tiny: the curve is within 1e-2 of its monotone envelope."""
+        gen = ScrambledZipfGenerator(800, 1.0, rng=9)
+        trace = Trace(gen.sample(30_000))
+        curve = model_trace(trace, k=8, seed=10).mrc()
+        envelope = curve.enforce_monotone()
+        assert float(np.max(curve.miss_ratios - envelope.miss_ratios)) < 0.01
+
+
+class TestStrategySeedIndependence:
+    def test_topdown_and_backward_agree_on_mrc(self):
+        """Different fast strategies (different randomness) produce the
+        same curve up to simulation noise."""
+        gen = ScrambledZipfGenerator(1_500, 0.9, rng=11)
+        trace = Trace(gen.sample(40_000))
+        a = model_trace(trace, k=6, strategy="backward", seed=12).mrc()
+        b = model_trace(trace, k=6, strategy="topdown", seed=13).mrc()
+        grid = np.linspace(100, 1_500, 20)
+        assert float(np.max(np.abs(a(grid) - b(grid)))) < 0.02

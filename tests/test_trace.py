@@ -1,0 +1,114 @@
+"""Tests for the Trace container and its statistics/transforms."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import OP_GET, OP_SET, Request, Trace, reuse_times
+
+
+class TestConstruction:
+    def test_defaults_uniform_size_and_get(self):
+        t = Trace([1, 2, 3])
+        assert len(t) == 3
+        assert (t.sizes == 1).all()
+        assert (t.ops == OP_GET).all()
+
+    def test_rejects_mismatched_sizes(self):
+        with pytest.raises(ValueError):
+            Trace([1, 2, 3], sizes=[1, 2])
+
+    def test_rejects_mismatched_ops(self):
+        with pytest.raises(ValueError):
+            Trace([1, 2], ops=[0])
+
+    def test_rejects_zero_sizes(self):
+        with pytest.raises(ValueError):
+            Trace([1], sizes=[0])
+
+    def test_rejects_2d_keys(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros((2, 2), dtype=np.int64))
+
+    def test_empty_trace(self):
+        t = Trace(np.empty(0, dtype=np.int64))
+        assert len(t) == 0
+        assert t.unique_objects() == 0
+        assert t.footprint_bytes() == 0
+
+
+class TestAccessors:
+    def test_iteration_yields_requests(self, tiny_trace):
+        reqs = list(tiny_trace)
+        assert all(isinstance(r, Request) for r in reqs)
+        assert reqs[0].key == 1 and reqs[0].size == 10
+
+    def test_indexing_and_slicing(self, tiny_trace):
+        assert tiny_trace[3].key == 1
+        head = tiny_trace[:4]
+        assert isinstance(head, Trace)
+        assert list(head.keys) == [1, 2, 3, 1]
+
+    def test_head(self, tiny_trace):
+        assert len(tiny_trace.head(5)) == 5
+
+
+class TestStatistics:
+    def test_unique_objects(self, tiny_trace):
+        assert tiny_trace.unique_objects() == 6
+
+    def test_footprint_uses_last_size(self):
+        t = Trace([1, 1], sizes=[10, 99])
+        assert t.footprint_bytes() == 99
+
+    def test_footprint_sums_distinct_objects(self, tiny_trace):
+        assert tiny_trace.footprint_bytes() == 10 + 20 + 30 + 40 + 50 + 60
+
+    def test_mean_object_size(self, tiny_trace):
+        assert tiny_trace.mean_object_size() == pytest.approx(210 / 6)
+
+    def test_is_uniform_size(self, tiny_trace):
+        assert not tiny_trace.is_uniform_size()
+        assert tiny_trace.with_uniform_size(200).is_uniform_size()
+
+
+class TestTransforms:
+    def test_with_uniform_size(self, tiny_trace):
+        u = tiny_trace.with_uniform_size(200)
+        assert (u.sizes == 200).all()
+        assert (u.keys == tiny_trace.keys).all()
+
+    def test_concat(self):
+        a = Trace([1, 2])
+        b = Trace([3])
+        c = Trace.concat([a, b])
+        assert list(c.keys) == [1, 2, 3]
+
+    def test_concat_empty(self):
+        assert len(Trace.concat([])) == 0
+
+    def test_interleave_preserves_per_trace_order(self, rng):
+        a = Trace(np.arange(50))
+        b = Trace(np.arange(50))
+        m = Trace.interleave([a, b], rng=rng)
+        assert len(m) == 100
+        # Keys are tagged by owner in the high bits; each owner's subsequence
+        # must be its original order.
+        for owner in (1, 2):
+            sub = m.keys[(m.keys >> 48) == owner] & ((1 << 48) - 1)
+            assert list(sub) == list(range(50))
+
+    def test_interleave_disjoint_keyspaces(self, rng):
+        a = Trace([1, 2, 3])
+        b = Trace([1, 2, 3])
+        m = Trace.interleave([a, b], rng=rng)
+        assert m.unique_objects() == 6
+
+
+class TestReuseTimes:
+    def test_cold_accesses_marked(self):
+        rts = reuse_times(Trace([1, 2, 3]))
+        assert list(rts) == [-1, -1, -1]
+
+    def test_reuse_gap(self):
+        rts = reuse_times(Trace([7, 8, 7, 7]))
+        assert list(rts) == [-1, -1, 2, 1]

@@ -1,0 +1,64 @@
+"""Round-trip tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import OP_DELETE, OP_GET, OP_SET, Trace
+from repro.workloads.io import load_csv, load_npz, save_csv, save_npz
+
+
+@pytest.fixture
+def mixed_trace() -> Trace:
+    return Trace(
+        [5, 2, 5, 9],
+        sizes=[100, 250, 110, 7],
+        ops=[OP_GET, OP_SET, OP_GET, OP_DELETE],
+        name="mixed",
+    )
+
+
+def test_csv_round_trip(tmp_path, mixed_trace):
+    path = tmp_path / "t.csv"
+    save_csv(mixed_trace, path)
+    back = load_csv(path)
+    np.testing.assert_array_equal(back.keys, mixed_trace.keys)
+    np.testing.assert_array_equal(back.sizes, mixed_trace.sizes)
+    np.testing.assert_array_equal(back.ops, mixed_trace.ops)
+
+
+def test_csv_name_defaults_to_stem(tmp_path, mixed_trace):
+    path = tmp_path / "server42.csv"
+    save_csv(mixed_trace, path)
+    assert load_csv(path).name == "server42"
+
+
+def test_csv_missing_optional_columns(tmp_path):
+    path = tmp_path / "keys_only.csv"
+    path.write_text("key\n3\n1\n3\n")
+    t = load_csv(path)
+    assert list(t.keys) == [3, 1, 3]
+    assert (t.sizes == 1).all()
+    assert (t.ops == OP_GET).all()
+
+
+def test_csv_requires_key_column(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("foo,bar\n1,2\n")
+    with pytest.raises(ValueError):
+        load_csv(path)
+
+
+def test_csv_empty_file(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    assert len(load_csv(path)) == 0
+
+
+def test_npz_round_trip(tmp_path, mixed_trace):
+    path = tmp_path / "t.npz"
+    save_npz(mixed_trace, path)
+    back = load_npz(path)
+    np.testing.assert_array_equal(back.keys, mixed_trace.keys)
+    np.testing.assert_array_equal(back.sizes, mixed_trace.sizes)
+    np.testing.assert_array_equal(back.ops, mixed_trace.ops)
+    assert back.name == "mixed"

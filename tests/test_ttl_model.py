@@ -1,0 +1,145 @@
+"""Tests for the TTL-aware KRR model and parallel sweep runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.krr import KRRStack
+from repro.core.ttl_model import TTLAwareKRRModel
+from repro.mrc import mean_absolute_error
+from repro.policies import sampled_policy_mrc
+from repro.simulator import klru_mrc
+from repro.simulator.parallel import parallel_klru_mrc
+from repro.workloads import Trace
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+
+def _zipf_trace(n_objects=1_500, n_requests=40_000, seed=1):
+    gen = ScrambledZipfGenerator(n_objects, 0.9, rng=seed)
+    return Trace(gen.sample(n_requests), name="zipf")
+
+
+class TestRemoveMany:
+    def test_bulk_removal(self):
+        s = KRRStack(1e9, rng=0, track_sizes=True)
+        for k in range(10):
+            s.access(k, k + 1)
+        s.remove_many([2, 5, 7, 99])
+        order = s.keys_in_stack_order()
+        assert set(order) == {0, 1, 3, 4, 6, 8, 9}
+        for i, key in enumerate(order, start=1):
+            assert s.position_of(key) == i
+        sizes = s.sizes_in_stack_order()
+        for boundary, stored in s._size_array.anchors:
+            assert stored == sum(sizes[:boundary])
+
+    def test_empty_batch_noop(self):
+        s = KRRStack(2, rng=0)
+        s.access(1)
+        s.remove_many([42])
+        assert len(s) == 1
+
+
+class TestTTLModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TTLAwareKRRModel(k=0)
+        with pytest.raises(ValueError):
+            TTLAwareKRRModel(ttl=0)
+
+    def test_mild_ttl_matches_plain_krr(self):
+        """TTL far above every reuse time: identical to the plain model."""
+        from repro import model_trace
+
+        trace = _zipf_trace(seed=2)
+        ttl_curve = TTLAwareKRRModel(k=5, ttl=10**9, seed=3).process(trace).mrc()
+        plain = model_trace(trace, k=5, seed=3).mrc()
+        grid = np.linspace(100, 1_500, 15)
+        assert float(np.max(np.abs(ttl_curve(grid) - plain(grid)))) < 1e-9
+
+    @pytest.mark.parametrize("mode", ["absolute", "sliding"])
+    @pytest.mark.parametrize("ttl", [2_000, 10_000, 50_000])
+    def test_accuracy_vs_ttl_simulator(self, ttl, mode):
+        """With matched TTL semantics the model tracks the simulator to
+        ~1e-2 MAE across regimes and both modes."""
+        trace = _zipf_trace(seed=4)
+        truth = sampled_policy_mrc(
+            trace, "lru", k=5, n_points=8, ttl=ttl, ttl_mode=mode, rng=5
+        )
+        pred = (
+            TTLAwareKRRModel(k=5, ttl=ttl, ttl_mode=mode, seed=6)
+            .process(trace)
+            .mrc()
+        )
+        assert mean_absolute_error(truth, pred) < 0.02
+
+    def test_absolute_expires_more_than_sliding(self):
+        """Reads renew sliding leases, so sliding expires less often."""
+        trace = _zipf_trace(seed=12)
+        absolute = TTLAwareKRRModel(k=5, ttl=5_000, ttl_mode="absolute", seed=13)
+        sliding = TTLAwareKRRModel(k=5, ttl=5_000, ttl_mode="sliding", seed=13)
+        absolute.process(trace)
+        sliding.process(trace)
+        assert absolute.expired_accesses > sliding.expired_accesses
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            TTLAwareKRRModel(ttl_mode="bogus")
+
+    def test_miss_ratio_floor(self):
+        trace = _zipf_trace(seed=7)
+        model = TTLAwareKRRModel(k=5, ttl=2_000, seed=8).process(trace)
+        floor = model.miss_ratio_floor()
+        curve = model.mrc()
+        assert floor > 0.05  # aggressive TTL: substantial expiry misses
+        assert float(curve(curve.max_size())) >= floor - 1e-9
+
+    def test_expired_accesses_counted(self):
+        trace = Trace(np.array([1, 2, 1], dtype=np.int64))
+        model = TTLAwareKRRModel(k=2, ttl=1, seed=9)
+        model.process(trace)
+        assert model.expired_accesses == 1  # reuse time 2 > ttl 1
+
+    def test_purge_bounds_memory(self):
+        """Idle objects leave the stack after the expire cycle."""
+        # Phase 1 touches 1000 objects once; phase 2 loops over 10 others.
+        keys = np.concatenate(
+            [np.arange(1_000), np.tile(np.arange(2_000, 2_010), 800)]
+        ).astype(np.int64)
+        model = TTLAwareKRRModel(k=3, ttl=1_000, seed=10)
+        model.process(Trace(keys))
+        assert len(model._stack) < 200
+
+    def test_spatial_sampling_supported(self):
+        trace = _zipf_trace(seed=11)
+        model = TTLAwareKRRModel(k=4, ttl=20_000, sampling_rate=0.5, seed=12)
+        curve = model.process(trace).mrc()
+        assert model.requests_sampled < model.requests_seen
+        assert 0 <= float(curve(500)) <= 1
+
+
+class TestParallelSweep:
+    def test_matches_serial_sweep(self):
+        trace = _zipf_trace(n_objects=600, n_requests=12_000, seed=13)
+        serial = klru_mrc(trace, 4, n_points=6, rng=14)
+        par = parallel_klru_mrc(trace, 4, n_points=6, rng=15, max_workers=2)
+        assert mean_absolute_error(serial, par) < 0.02
+
+    def test_inline_path_when_single_worker(self):
+        trace = _zipf_trace(n_objects=300, n_requests=5_000, seed=16)
+        curve = parallel_klru_mrc(trace, 3, n_points=4, rng=17, max_workers=1)
+        assert len(curve) == 4
+
+    def test_deterministic_for_seed_across_worker_counts(self):
+        trace = _zipf_trace(n_objects=300, n_requests=5_000, seed=18)
+        a = parallel_klru_mrc(trace, 3, n_points=4, rng=19, max_workers=1)
+        b = parallel_klru_mrc(trace, 3, n_points=4, rng=19, max_workers=2)
+        np.testing.assert_array_equal(a.miss_ratios, b.miss_ratios)
+
+    def test_byte_capacity_mode(self):
+        from repro.workloads import twitter
+
+        trace = twitter.make_trace("cluster26.0", 8_000, scale=0.1, seed=20)
+        curve = parallel_klru_mrc(
+            trace, 4, n_points=4, rng=21, byte_capacity=True, max_workers=2
+        )
+        assert curve.unit == "bytes"

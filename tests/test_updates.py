@@ -1,0 +1,203 @@
+"""Statistical-equivalence tests for the three stack-update strategies.
+
+The paper's correctness argument (§4.3) is that top-down and backward
+generation sample the *same* swap-set distribution the naive linear sweep
+does.  These tests verify the marginal swap frequency per position, the
+joint no-swap interval probabilities, and structural invariants for all
+three strategies — plus apply_swaps' cyclic-shift semantics against the
+linear Mattson oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.eviction import swap_probability
+from repro.core.updates import (
+    BackwardUpdate,
+    LinearUpdate,
+    TopDownUpdate,
+    apply_swaps,
+    make_strategy,
+)
+
+ALL_STRATEGIES = ["linear", "topdown", "backward"]
+
+
+@pytest.mark.parametrize("name", ALL_STRATEGIES)
+class TestStructuralInvariants:
+    def test_includes_endpoints_and_sorted(self, name):
+        strat = make_strategy(name, 4, rng=0)
+        for phi in (1, 2, 3, 10, 257):
+            swaps = strat.swap_positions(phi)
+            assert swaps[0] == 1
+            assert swaps[-1] == phi
+            assert swaps == sorted(set(swaps))
+            assert all(1 <= s <= phi for s in swaps)
+
+    def test_phi_one(self, name):
+        assert make_strategy(name, 2, rng=0).swap_positions(1) == [1]
+
+    def test_phi_two(self, name):
+        assert make_strategy(name, 2, rng=0).swap_positions(2) == [1, 2]
+
+    def test_rejects_bad_phi(self, name):
+        with pytest.raises(ValueError):
+            make_strategy(name, 2, rng=0).swap_positions(0)
+
+    def test_rejects_bad_k(self, name):
+        cls = {"linear": LinearUpdate, "topdown": TopDownUpdate,
+               "backward": BackwardUpdate}[name]
+        with pytest.raises(ValueError):
+            cls(0)
+
+
+def test_make_strategy_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_strategy("magic", 2)
+
+
+def _marginal_frequencies(strategy, phi: int, trials: int) -> np.ndarray:
+    hits = np.zeros(phi + 1)
+    for _ in range(trials):
+        for p in strategy.swap_positions(phi):
+            hits[p] += 1
+    return hits / trials
+
+
+@pytest.mark.parametrize("name", ALL_STRATEGIES)
+@pytest.mark.parametrize("k", [1, 4, 9])
+def test_marginal_swap_probabilities(name, k):
+    """Per-position swap frequency must match 1 - ((i-1)/i)^K."""
+    phi, trials = 16, 6000
+    strat = make_strategy(name, k, rng=42)
+    freq = _marginal_frequencies(strat, phi, trials)
+    expected = swap_probability(np.arange(1, phi), k)
+    # 4-sigma tolerance per position.
+    tol = 4 * np.sqrt(expected * (1 - expected) / trials) + 1e-9
+    assert (np.abs(freq[1:phi] - expected) <= tol).all(), (
+        freq[1:phi], expected
+    )
+    assert freq[phi] == 1.0
+
+
+@pytest.mark.parametrize("name", ALL_STRATEGIES)
+def test_joint_no_swap_interval(name):
+    """P(no swap in [a, b]) must match the telescoped closed form."""
+    phi, k, trials = 20, 3, 6000
+    a, b = 5, 12
+    strat = make_strategy(name, k, rng=7)
+    none_in = 0
+    for _ in range(trials):
+        swaps = strat.swap_positions(phi)
+        if not any(a <= s <= b for s in swaps):
+            none_in += 1
+    expected = ((a - 1) / b) ** k
+    assert none_in / trials == pytest.approx(expected, abs=0.03)
+
+
+@pytest.mark.parametrize("name", ["topdown", "backward"])
+def test_swap_count_distribution_matches_linear(name):
+    """Total swap-count distribution: fast strategies vs the linear oracle.
+
+    Two-sample chi-square over the count histogram; catches joint-structure
+    bugs the marginals miss.
+    """
+    phi, k, trials = 64, 4, 5000
+    fast = make_strategy(name, k, rng=11)
+    oracle = make_strategy("linear", k, rng=13)
+    max_count = 30
+    h_fast = np.zeros(max_count)
+    h_lin = np.zeros(max_count)
+    for _ in range(trials):
+        h_fast[min(len(fast.swap_positions(phi)), max_count - 1)] += 1
+        h_lin[min(len(oracle.swap_positions(phi)), max_count - 1)] += 1
+    mask = (h_fast + h_lin) >= 10
+    chi2 = (
+        (h_fast[mask] - h_lin[mask]) ** 2 / (h_fast[mask] + h_lin[mask])
+    ).sum()
+    dof = int(mask.sum()) - 1
+    # Loose critical value (~p=0.001 for the dofs seen here).
+    assert chi2 < dof * 3 + 20, (chi2, dof)
+
+
+def test_backward_mean_swaps_matches_corollary1():
+    from repro.core.eviction import expected_swap_positions
+
+    phi, k, trials = 200, 3, 4000
+    strat = BackwardUpdate(k, rng=5)
+    counts = [len(strat.swap_positions(phi)) for _ in range(trials)]
+    # Corollary 1 counts positions 1..phi-1; position phi adds one more.
+    expected = expected_swap_positions(phi, k) + 1
+    assert np.mean(counts) == pytest.approx(expected, rel=0.05)
+
+
+def test_topdown_node_visits_grow_polylog():
+    """Proposition 3: node visits scale ~K log^2 M, far below linear."""
+    k = 4
+    trials = 400
+    means = {}
+    for phi in (1024, 4096):
+        strat = TopDownUpdate(k, rng=3)
+        for _ in range(trials):
+            strat.swap_positions(phi)
+        means[phi] = strat.nodes_visited / trials
+        log2m = np.log2(phi)
+        assert means[phi] < k * log2m * log2m  # within the K log^2 M bound
+        assert means[phi] < phi / 4  # decisively sublinear
+    # Quadrupling M must grow cost far slower than linearly (x4).
+    assert means[4096] / means[1024] < 2.0
+
+
+class TestApplySwaps:
+    def _fresh(self, n):
+        stack = list(range(100, 100 + n))
+        pos = {k: i for i, k in enumerate(stack)}
+        return stack, pos
+
+    def test_phi_one_noop(self):
+        stack, pos = self._fresh(5)
+        apply_swaps(stack, pos, [1])
+        assert stack == list(range(100, 105))
+
+    def test_full_swap_set_is_lru_shift(self):
+        stack, pos = self._fresh(5)
+        apply_swaps(stack, pos, [1, 2, 3, 4])
+        assert stack == [103, 100, 101, 102, 104]
+
+    def test_sparse_swaps_cyclic_shift(self):
+        stack, pos = self._fresh(6)
+        # swaps {1, 3, 6}: s[6]->top, s[1]->3, s[3]->6.
+        apply_swaps(stack, pos, [1, 3, 6])
+        assert stack == [105, 101, 100, 103, 104, 102]
+
+    def test_position_map_updated(self):
+        stack, pos = self._fresh(6)
+        apply_swaps(stack, pos, [1, 4, 6])
+        for i, k in enumerate(stack):
+            assert pos[k] == i
+
+    def test_matches_linear_mattson_semantics(self):
+        """Drawing swaps with LinearUpdate + apply_swaps must equal the
+        in-place GenericStack sweep given the same random draws."""
+        from repro.stack.mattson import krr_stack
+
+        rng_keys = np.random.default_rng(9)
+        keys = [int(x) for x in rng_keys.integers(0, 30, size=400)]
+        oracle = krr_stack(3, rng=123)
+
+        stack: list[int] = []
+        pos: dict[int, int] = {}
+        strat = LinearUpdate(3, rng=123)
+        for k in keys:
+            oracle.access(k)
+            if k in pos:
+                phi = pos[k] + 1
+            else:
+                stack.append(k)
+                pos[k] = len(stack) - 1
+                phi = len(stack)
+            apply_swaps(stack, pos, strat.swap_positions(phi))
+        # Same seed, same draw sequence, same per-position semantics.
+        assert stack == oracle.keys_in_stack_order()

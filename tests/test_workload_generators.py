@@ -1,0 +1,155 @@
+"""Tests for the YCSB / MSR / Twitter trace generators and pattern primitives."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import OP_GET, OP_SET, msr, patterns, twitter, ycsb
+
+
+class TestPatterns:
+    def test_sequential_scan(self):
+        s = patterns.sequential_scan(10, 5, repeat=2)
+        assert list(s) == [10, 11, 12, 13, 14] * 2
+
+    def test_loop_truncates(self):
+        lp = patterns.loop([1, 2, 3], 7)
+        assert list(lp) == [1, 2, 3, 1, 2, 3, 1]
+
+    def test_hotspot_concentration(self):
+        keys = patterns.hotspot(1000, 20_000, hot_fraction=0.1, hot_prob=0.9, rng=0)
+        hot_hits = (keys < 100).mean()
+        assert 0.85 < hot_hits < 0.95
+
+    def test_hotspot_offset(self):
+        keys = patterns.hotspot(100, 1000, key_offset=500, rng=0)
+        assert keys.min() >= 500
+
+    def test_uniform_random_range(self):
+        keys = patterns.uniform_random(50, 5000, rng=1)
+        assert keys.min() >= 0 and keys.max() < 50
+
+    def test_mix_phases(self):
+        out = patterns.mix_phases([np.array([1, 2]), np.array([3])])
+        assert list(out) == [1, 2, 3]
+
+    def test_interleave_streams_weights(self):
+        a = np.zeros(10_000, dtype=np.int64)
+        b = np.ones(10_000, dtype=np.int64)
+        out = patterns.interleave_streams([a, b], [0.8, 0.2], rng=2)
+        frac_b = out.mean()
+        assert 0.15 < frac_b < 0.25
+
+    def test_interleave_streams_validation(self):
+        with pytest.raises(ValueError):
+            patterns.interleave_streams([np.array([1])], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            patterns.interleave_streams([np.array([1])], [0.0])
+
+
+class TestYCSB:
+    def test_workload_c_shape(self):
+        t = ycsb.workload_c(1000, 5000, alpha=0.99, rng=0)
+        assert len(t) == 5000
+        assert t.unique_objects() <= 1000
+        assert t.is_uniform_size()
+        assert (t.sizes == 200).all()
+
+    def test_workload_c_skew_increases_with_alpha(self):
+        """Higher alpha concentrates requests on fewer objects."""
+        lo = ycsb.workload_c(2000, 30_000, alpha=0.5, rng=1)
+        hi = ycsb.workload_c(2000, 30_000, alpha=1.5, rng=1)
+        top_share = lambda t: np.sort(np.bincount(t.keys))[-20:].sum() / len(t)
+        assert top_share(hi) > top_share(lo) + 0.2
+
+    def test_workload_e_scans_are_consecutive(self):
+        t = ycsb.workload_e(100, 10, alpha=0.99, max_scan_length=10, rng=2)
+        diffs = np.diff(t.keys)
+        # Inside a scan, keys step by +1 (mod wraparound); scan boundaries jump.
+        steps = ((diffs == 1) | (diffs == -(100 - 1))).mean()
+        assert steps > 0.5
+
+    def test_workload_e_default_max_scan(self):
+        t = ycsb.workload_e(50, 5, rng=3)
+        assert len(t) >= 5  # each scan has length >= 1
+
+    def test_paper_suite_has_six_traces(self):
+        suite = ycsb.paper_ycsb_suite(n_objects=500, n_requests=2000)
+        assert len(suite) == 6
+        names = [t.name for t in suite]
+        assert any("C" in n for n in names) and any("E" in n for n in names)
+
+
+class TestMSR:
+    def test_all_presets_build(self):
+        for server in msr.SERVERS:
+            t = msr.make_trace(server, 3000, scale=0.05)
+            assert len(t) == 3000, server
+            assert t.unique_objects() > 10, server
+
+    def test_unknown_server_rejected(self):
+        with pytest.raises(KeyError):
+            msr.make_trace("nope", 100)
+
+    def test_uniform_vs_variable_size(self):
+        u = msr.make_trace("src1", 2000, scale=0.05, uniform_size=200)
+        v = msr.make_trace("src1", 2000, scale=0.05, variable_size=True)
+        assert u.is_uniform_size()
+        assert not v.is_uniform_size()
+        assert set(np.unique(v.sizes)) <= {4096, 8192, 16384, 32768, 65536}
+
+    def test_variable_sizes_fixed_per_object(self):
+        """The paper uses one block size per object (first-request size)."""
+        t = msr.make_trace("web", 5000, scale=0.05, variable_size=True)
+        sizes_by_key: dict[int, int] = {}
+        for i in range(len(t)):
+            k = int(t.keys[i])
+            s = int(t.sizes[i])
+            assert sizes_by_key.setdefault(k, s) == s
+
+    def test_deterministic_for_seed(self):
+        a = msr.make_trace("proj", 1000, seed=9, scale=0.05)
+        b = msr.make_trace("proj", 1000, seed=9, scale=0.05)
+        np.testing.assert_array_equal(a.keys, b.keys)
+
+    def test_master_trace_merges_all_servers(self):
+        m = msr.make_master_trace(n_requests_per_server=500, scale=0.05)
+        owners = set((m.keys >> 48).tolist())
+        assert len(owners) == len(msr.SERVERS)
+
+
+class TestTwitter:
+    def test_all_clusters_build(self):
+        for c in twitter.CLUSTERS:
+            t = twitter.make_trace(c, 2000, scale=0.1)
+            assert len(t) == 2000, c
+
+    def test_unknown_cluster_rejected(self):
+        with pytest.raises(KeyError):
+            twitter.make_trace("cluster0.0", 100)
+
+    def test_write_ratio_respected(self):
+        rec = twitter.CLUSTERS["cluster52.7"]
+        t = twitter.make_trace("cluster52.7", 30_000, scale=0.1, seed=0)
+        frac_set = (t.ops == OP_SET).mean()
+        assert abs(frac_set - rec.write_ratio) < 0.02
+
+    def test_variable_sizes_heavy_tailed(self):
+        t = twitter.make_trace("cluster34.1", 20_000, scale=0.2, seed=1)
+        assert t.sizes.max() > 10 * np.median(t.sizes)
+
+    def test_size_changes_only_on_sets(self):
+        t = twitter.make_trace("cluster26.0", 30_000, scale=0.2, seed=2,
+                               size_change_prob=0.5)
+        last_size: dict[int, int] = {}
+        changes_on_get = 0
+        for i in range(len(t)):
+            k = int(t.keys[i])
+            s = int(t.sizes[i])
+            if k in last_size and s != last_size[k] and t.ops[i] == OP_GET:
+                changes_on_get += 1
+            last_size[k] = s
+        assert changes_on_get == 0
+
+    def test_value_sizes_clipped(self):
+        sizes = twitter.object_value_sizes(10_000, 200, 2.0, rng=0)
+        assert sizes.min() >= 1 and sizes.max() <= 1 << 20

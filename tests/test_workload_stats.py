@@ -1,0 +1,94 @@
+"""Tests for trace characterization (workloads.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import Trace, msr, patterns
+from repro.workloads.stats import (
+    TraceProfile,
+    estimate_zipf_alpha,
+    profile_trace,
+    reuse_summary,
+    sequentiality_score,
+)
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+
+class TestZipfAlphaEstimate:
+    @pytest.mark.parametrize("alpha", [0.6, 1.0, 1.4])
+    def test_recovers_known_alpha(self, alpha):
+        gen = ScrambledZipfGenerator(2_000, alpha, rng=1)
+        trace = Trace(gen.sample(200_000))
+        est = estimate_zipf_alpha(trace)
+        assert est == pytest.approx(alpha, abs=0.15)
+
+    def test_uniform_traffic_near_zero(self):
+        trace = Trace(np.random.default_rng(2).integers(0, 500, size=50_000))
+        assert estimate_zipf_alpha(trace) < 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_zipf_alpha(Trace(np.empty(0, dtype=np.int64)))
+        with pytest.raises(ValueError):
+            estimate_zipf_alpha(Trace(np.array([1, 2])), top_fraction=0)
+
+
+class TestSequentiality:
+    def test_pure_scan_scores_high(self):
+        trace = Trace(patterns.sequential_scan(0, 1_000, repeat=5))
+        assert sequentiality_score(trace) > 0.95
+
+    def test_random_scores_low(self):
+        trace = Trace(np.random.default_rng(3).integers(0, 5_000, size=20_000))
+        assert sequentiality_score(trace) < 0.01
+
+    def test_short_trace(self):
+        assert sequentiality_score(Trace(np.array([7]))) == 0.0
+
+
+class TestReuseSummary:
+    def test_all_cold(self):
+        s = reuse_summary(Trace(np.arange(100)))
+        assert s["cold_fraction"] == 1.0
+        assert s["reuse_p50"] == float("inf")
+
+    def test_loop_reuse_equals_loop_length(self):
+        trace = Trace(patterns.loop(np.arange(50), 5_000))
+        s = reuse_summary(trace)
+        assert s["reuse_p50"] == pytest.approx(50)
+        assert s["cold_fraction"] == pytest.approx(50 / 5_000)
+
+
+class TestProfile:
+    def test_scan_heavy_flags_type_a(self):
+        trace = msr.make_trace("src1", 20_000, scale=0.1, seed=4)
+        profile = profile_trace(trace)
+        assert isinstance(profile, TraceProfile)
+        assert profile.likely_type_a
+
+    def test_zipf_not_flagged_type_a(self):
+        gen = ScrambledZipfGenerator(1_000, 1.0, rng=5)
+        profile = profile_trace(Trace(gen.sample(30_000)))
+        assert not profile.likely_type_a
+
+    def test_structural_screen_agrees_with_model_classifier(self):
+        """The cheap screen and the KRR-based classifier must agree on
+        clear-cut cases from both families."""
+        from repro.analysis import classify_trace
+
+        cases = [
+            msr.make_trace("src2", 15_000, scale=0.08, seed=6),  # loops: A
+            Trace(ScrambledZipfGenerator(800, 0.9, rng=7).sample(15_000),
+                  name="zipf"),                                   # smooth: B
+        ]
+        for trace in cases:
+            screen = profile_trace(trace).likely_type_a
+            verdict = classify_trace(trace, seed=8).k_sensitive
+            assert screen == verdict, trace.name
+
+    def test_as_rows_renders(self):
+        trace = Trace(np.array([1, 2, 1, 3]))
+        rows = profile_trace(trace).as_rows()
+        labels = [r[0] for r in rows]
+        assert "zipf alpha (fit)" in labels
+        assert "likely Type A" in labels

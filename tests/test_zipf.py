@@ -1,0 +1,83 @@
+"""Tests for the Zipfian samplers."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.workloads.zipf import ScrambledZipfGenerator, ZipfGenerator, zipf_trace_keys
+
+
+class TestZipfGenerator:
+    def test_pmf_normalized(self):
+        gen = ZipfGenerator(100, 0.99, rng=0)
+        assert gen.pmf().sum() == pytest.approx(1.0)
+
+    def test_pmf_matches_power_law(self):
+        gen = ZipfGenerator(50, 1.2, rng=0)
+        p = gen.pmf()
+        ranks = np.arange(1, 51)
+        expected = ranks**-1.2
+        expected /= expected.sum()
+        np.testing.assert_allclose(p, expected, rtol=1e-12)
+
+    def test_alpha_zero_is_uniform(self):
+        gen = ZipfGenerator(10, 0.0, rng=0)
+        np.testing.assert_allclose(gen.pmf(), np.full(10, 0.1))
+
+    def test_samples_in_range(self):
+        gen = ZipfGenerator(20, 1.0, rng=1)
+        s = gen.sample(1000)
+        assert s.min() >= 0 and s.max() < 20
+
+    def test_empirical_distribution_chi2(self):
+        """Sampled frequencies must match the analytic pmf (chi-square)."""
+        n = 30
+        gen = ZipfGenerator(n, 0.8, rng=2)
+        draws = gen.sample(60_000)
+        observed = np.bincount(draws, minlength=n)
+        expected = gen.pmf() * draws.shape[0]
+        chi2 = ((observed - expected) ** 2 / expected).sum()
+        # 29 dof: p=0.001 critical value ~ 58; allow generous headroom.
+        assert chi2 < 70, chi2
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, -0.5)
+
+    def test_seeded_reproducibility(self):
+        a = ZipfGenerator(100, 1.0, rng=5).sample(100)
+        b = ZipfGenerator(100, 1.0, rng=5).sample(100)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestScrambledZipf:
+    def test_same_popularity_distribution(self):
+        """Scrambling permutes identities but not the sorted frequency profile."""
+        n = 40
+        plain = ZipfGenerator(n, 1.1, rng=3).sample(40_000)
+        scram = ScrambledZipfGenerator(n, 1.1, rng=3).sample(40_000)
+        f1 = np.sort(np.bincount(plain, minlength=n))
+        f2 = np.sort(np.bincount(scram, minlength=n))
+        # Frequencies agree within sampling noise.
+        assert np.abs(f1 - f2).max() < 4 * np.sqrt(f1.max())
+
+    def test_hot_key_not_rank_zero(self):
+        """With a random permutation the hottest key is rarely key 0."""
+        hot_is_zero = 0
+        for seed in range(20):
+            s = ScrambledZipfGenerator(50, 1.5, rng=seed).sample(2000)
+            if np.bincount(s, minlength=50).argmax() == 0:
+                hot_is_zero += 1
+        assert hot_is_zero <= 3
+
+    def test_keys_cover_range(self):
+        s = ScrambledZipfGenerator(10, 0.1, rng=4).sample(5000)
+        assert set(s) == set(range(10))
+
+
+def test_zipf_trace_keys_shapes():
+    keys = zipf_trace_keys(100, 500, 0.9, rng=0)
+    assert keys.shape == (500,)
+    assert keys.dtype == np.int64
