@@ -1,0 +1,188 @@
+"""Engine scaling benchmark: batched hot path + parallel sweep throughput.
+
+Measures, on a 500k-request zipf trace (50k objects, alpha=0.99):
+
+1. **Batched vs per-access modeling** — `KRRModel.process` through the
+   fused `access_many` hot path against a faithful replica of the original
+   per-access loop (`stack.access(int(keys[i]))` + per-request histogram
+   record, i.e. the pre-engine code path).
+2. **ModelSweep fan-out** — a 12-config (K x sampling-rate) grid run
+   serially and with 4 workers over the shared-memory trace store, with a
+   bit-identity check between the two grids.
+
+Writes machine-readable results to ``BENCH_engine.json`` at the repo root
+so future PRs can track the perf trajectory, plus a text summary under
+``benchmarks/results/``.  ``--quick`` shrinks the trace for CI smoke runs.
+
+Run:  PYTHONPATH=src python benchmarks/bench_engine_scaling.py [--quick]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import write_result  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+K = 5
+SWEEP_WORKERS = 4
+SWEEP_KS = (1, 2, 5, 10)
+SWEEP_RATES = (0.1, 0.05, 0.01)  # 4 x 3 = 12 configs
+
+
+def _legacy_process(model, trace):
+    """The pre-engine per-access loop, preserved verbatim as the baseline.
+
+    One ``stack.access`` call per request with NumPy scalar unboxing
+    (``int(keys[i])``), a result tuple per access, and one histogram
+    ``record`` call per request.
+    """
+    keys = trace.keys
+    sizes = trace.sizes
+    model.stats.requests_seen += int(keys.shape[0])
+    model.stats.requests_sampled += int(keys.shape[0])
+    stack = model._stack
+    obj_hist = model._obj_hist
+    cold = 0
+    for i in range(keys.shape[0]):
+        dist, _byte_dist = stack.access(int(keys[i]), int(sizes[i]))
+        if dist < 0:
+            cold += 1
+            obj_hist.record_cold()
+        else:
+            obj_hist.record(dist)
+    model.stats.cold_misses += cold
+
+
+def bench_batched(trace, seed=1):
+    from repro import KRRModel
+
+    n = len(trace)
+    legacy_model = KRRModel(k=K, seed=seed)
+    t0 = time.perf_counter()
+    _legacy_process(legacy_model, trace)
+    legacy_s = time.perf_counter() - t0
+
+    batched_model = KRRModel(k=K, seed=seed)
+    t0 = time.perf_counter()
+    batched_model.process(trace)
+    batched_s = time.perf_counter() - t0
+
+    identical = bool(
+        np.array_equal(
+            legacy_model.mrc().miss_ratios, batched_model.mrc().miss_ratios
+        )
+    )
+    return {
+        "requests": n,
+        "k": K,
+        "legacy_s": round(legacy_s, 4),
+        "batched_s": round(batched_s, 4),
+        "speedup": round(legacy_s / batched_s, 3),
+        "legacy_requests_per_s": round(n / legacy_s),
+        "batched_requests_per_s": round(n / batched_s),
+        "curves_identical": identical,
+    }
+
+
+def bench_sweep(trace, seed=3):
+    from repro.engine import ModelSweep
+
+    sweep = ModelSweep.grid(ks=SWEEP_KS, sampling_rates=SWEEP_RATES, seed=seed)
+    t0 = time.perf_counter()
+    serial = sweep.run(trace, max_workers=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = sweep.run(trace, max_workers=SWEEP_WORKERS)
+    parallel_s = time.perf_counter() - t0
+
+    identical = all(
+        np.array_equal(a.sizes, b.sizes)
+        and np.array_equal(a.miss_ratios, b.miss_ratios)
+        for a, b in zip(serial, parallel)
+    )
+    return {
+        "n_configs": len(sweep),
+        "workers": SWEEP_WORKERS,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3),
+        "bit_identical_grids": bool(identical),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: 40k requests instead of 500k",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.workloads.trace import Trace
+    from repro.workloads.zipf import zipf_trace_keys
+
+    n_requests = 40_000 if args.quick else 500_000
+    n_objects = 8_000 if args.quick else 50_000
+    keys = zipf_trace_keys(n_objects, n_requests, 0.99, rng=1)
+    trace = Trace(keys, name=f"zipf{n_requests // 1000}k")
+
+    batched = bench_batched(trace)
+    swept = bench_sweep(trace)
+
+    payload = {
+        "bench": "engine_scaling",
+        "quick": args.quick,
+        "cpus": os.cpu_count(),
+        "trace": {
+            "kind": "zipf",
+            "n_requests": n_requests,
+            "n_objects": n_objects,
+            "alpha": 0.99,
+        },
+        "batched_process": batched,
+        "model_sweep": swept,
+    }
+    out = REPO_ROOT / "BENCH_engine.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"trace: {n_requests} requests, {n_objects} objects (zipf 0.99), "
+        f"{os.cpu_count()} cpu(s)",
+        "",
+        "batched KRRModel.process vs per-access loop (K=5):",
+        f"  per-access  {batched['legacy_s']:8.2f}s  "
+        f"{batched['legacy_requests_per_s']:>10,} req/s",
+        f"  batched     {batched['batched_s']:8.2f}s  "
+        f"{batched['batched_requests_per_s']:>10,} req/s",
+        f"  speedup     {batched['speedup']:.2f}x  "
+        f"(curves identical: {batched['curves_identical']})",
+        "",
+        f"ModelSweep {swept['n_configs']}-config grid "
+        f"(K in {list(SWEEP_KS)}, R in {list(SWEEP_RATES)}):",
+        f"  serial      {swept['serial_s']:8.2f}s",
+        f"  {swept['workers']} workers   {swept['parallel_s']:8.2f}s",
+        f"  speedup     {swept['speedup']:.2f}x  "
+        f"(grids bit-identical: {swept['bit_identical_grids']})",
+        "",
+        f"wrote {out}",
+    ]
+    write_result("bench_engine_scaling", "\n".join(lines))
+    return 0
+
+
+def test_engine_scaling_quick(benchmark):
+    """Pytest-benchmark entry point: quick mode only."""
+    benchmark.pedantic(lambda: main(["--quick"]), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

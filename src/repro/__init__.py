@@ -12,6 +12,7 @@ Sampling-Based LRU* (ICPP 2021).  The headline API:
 Sub-packages:
 
 - :mod:`repro.core` — the KRR stack, fast updates, size tracking, model
+- :mod:`repro.engine` — shared-memory parallel modeling engine (ModelSweep)
 - :mod:`repro.stack` — Mattson framework and exact LRU oracles
 - :mod:`repro.sampling` — SHARDS-style spatial sampling
 - :mod:`repro.simulator` — ground-truth K-LRU / LRU / Redis-like caches
@@ -26,6 +27,7 @@ from . import (
     analysis,
     baselines,
     core,
+    engine,
     mrc,
     partition,
     policies,
@@ -36,6 +38,7 @@ from . import (
 )
 from .core.krr import KRRStack
 from .core.model import KRRModel, KRRResult, model_trace
+from .engine import ModelSweep, SweepConfig
 from .mrc.curve import MissRatioCurve
 from .workloads.trace import Trace
 
@@ -46,6 +49,8 @@ __all__ = [
     "KRRResult",
     "KRRStack",
     "MissRatioCurve",
+    "ModelSweep",
+    "SweepConfig",
     "Trace",
     "adaptive",
     "partition",
@@ -53,6 +58,7 @@ __all__ = [
     "analysis",
     "baselines",
     "core",
+    "engine",
     "model_trace",
     "mrc",
     "sampling",

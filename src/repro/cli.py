@@ -5,6 +5,7 @@ Usage (also via ``python -m repro``):
     repro generate --suite msr --preset src1 -n 100000 -o trace.csv
     repro info trace.csv
     repro model trace.csv --k 5 --rate 0.01 -o mrc.csv
+    repro sweep trace.csv --ks 1,5,10 --rates none,0.01 --workers 4 -o grid.csv
     repro simulate trace.csv --policy lru --k 5 --points 10
     repro compare trace.csv --k 5 --points 8
     repro classify trace.csv
@@ -126,6 +127,63 @@ def cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_rates(spec: str) -> list[float | None]:
+    """``"none,0.01,0.1"`` -> ``[None, 0.01, 0.1]`` (1.0 also means none)."""
+    rates: list[float | None] = []
+    for token in spec.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        if token in ("none", "full", "1", "1.0"):
+            rates.append(None)
+        else:
+            rates.append(float(token))
+    return rates or [None]
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .engine import ModelSweep
+
+    trace = _load_trace(args.trace)
+    ks = [int(t) for t in args.ks.split(",") if t.strip()]
+    strategies = [t.strip() for t in args.strategies.split(",") if t.strip()]
+    sweep = ModelSweep.grid(
+        ks,
+        strategies=strategies,
+        sampling_rates=_parse_rates(args.rates),
+        correction=not args.no_correction,
+        seed=args.seed,
+    )
+    results = sweep.run(
+        trace, max_workers=args.workers, max_size=args.max_size
+    )
+    print(
+        f"# {len(results)} configs x {len(trace)} requests "
+        f"(workers={args.workers or 'auto'}, seed={args.seed})",
+        file=sys.stderr,
+    )
+    for r in results:
+        print(
+            f"# {r.config.label():28s} sampled={r.requests_sampled}"
+            f"/{r.requests_seen} mr@max={r.miss_ratios[-1]:.4f}",
+            file=sys.stderr,
+        )
+    lines = ["k,strategy,rate,size,miss_ratio"]
+    for r in results:
+        rate = "" if r.config.sampling_rate is None else f"{r.config.sampling_rate:g}"
+        lines += [
+            f"{r.config.k},{r.config.strategy},{rate},{s:.0f},{m:.6f}"
+            for s, m in zip(r.sizes, r.miss_ratios)
+        ]
+    text = "\n".join(lines)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {len(lines) - 1} rows to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from .policies.mrc import sampled_policy_mrc
 
@@ -209,6 +267,27 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--plot", action="store_true",
                    help="render an ASCII plot instead of CSV")
     m.set_defaults(func=cmd_model)
+
+    sw = sub.add_parser(
+        "sweep", help="parallel grid of KRR configs (shared-memory engine)"
+    )
+    sw.add_argument("trace")
+    sw.add_argument("--ks", default="5", help="comma-separated K values")
+    sw.add_argument("--strategies", default="backward",
+                    help="comma-separated update strategies")
+    sw.add_argument("--rates", default="none",
+                    help="comma-separated spatial rates ('none' = unsampled)")
+    sw.add_argument("--no-correction", action="store_true",
+                    help="disable the K'=K^1.4 correction")
+    sw.add_argument("--seed", type=int, default=0,
+                    help="sweep seed (per-config seeds derive from it)")
+    sw.add_argument("--workers", type=int, default=None,
+                    help="process count (default: min(configs, cpus))")
+    sw.add_argument("--max-size", type=int, default=None,
+                    help="cap the MRC size axis")
+    sw.add_argument("-o", "--output", default=None,
+                    help="long-format CSV (k,strategy,rate,size,miss_ratio)")
+    sw.set_defaults(func=cmd_sweep)
 
     s = sub.add_parser("simulate", help="ground-truth sweep for any policy")
     s.add_argument("trace")

@@ -73,17 +73,26 @@ class LinearUpdate:
             raise ValueError("K must be positive")
         self.k = float(k)
         self._uniform = _BufferedUniform(ensure_rng(rng))
+        # Survival probabilities ((i-1)/i)^K depend only on the position,
+        # not the access: cache them (grow-on-demand, indexed by position)
+        # instead of paying one pow() per position per access.
+        self._survival: List[float] = [0.0, 0.0]  # positions 0/1 never drawn
 
     def swap_positions(self, phi: int) -> List[int]:
         if phi < 1:
             raise ValueError("phi must be >= 1")
         if phi == 1:
             return [1]
+        survival = self._survival
+        if phi > len(survival):
+            k = self.k
+            survival.extend(
+                ((i - 1) / i) ** k for i in range(len(survival), phi)
+            )
         swaps = [1]
-        k = self.k
         u = self._uniform
         for i in range(2, phi):
-            if u() >= ((i - 1) / i) ** k:
+            if u() >= survival[i]:
                 swaps.append(i)
         swaps.append(phi)
         return swaps
@@ -111,6 +120,7 @@ class BackwardUpdate:
         self._rng = ensure_rng(rng)
         self._buf: List[float] = []
         self._pos = 0
+        self._refills = -1  # first _refill() brings it to 0
         self._refill()
 
     def _refill(self) -> None:
@@ -119,6 +129,7 @@ class BackwardUpdate:
         u = 1.0 - self._rng.random(self._BLOCK)  # uniform on (0, 1]
         self._buf = (u**self._inv_k).tolist()
         self._pos = 0
+        self._refills += 1
 
     def swap_positions(self, phi: int) -> List[int]:
         if phi < 1:
@@ -149,6 +160,49 @@ class BackwardUpdate:
         self._pos = pos
         rev.reverse()
         return rev
+
+    def apply_fused(self, phi: int, stack: list, pos: dict) -> int:
+        """Draw the swap chain and apply its cyclic shift in one pass.
+
+        The backward chain is generated top-down (``phi`` first) — exactly
+        the order :func:`apply_swaps` consumes a sorted swap set bottom-up —
+        so the draw and the shift fuse into a single loop with no swap-list
+        allocation.  Consumes the same buffered draws as
+        ``swap_positions(phi)`` (draw-for-draw parity) and leaves ``stack``/
+        ``pos`` exactly as ``apply_swaps`` would.  Returns the size of the
+        equivalent swap-position set (for the cost counters).
+        """
+        if phi < 1:
+            raise ValueError("phi must be >= 1")
+        if phi == 1:
+            return 1
+        referenced = stack[phi - 1]
+        buf = self._buf
+        bpos = self._pos
+        block = self._BLOCK
+        draws_before = self._refills * block + bpos
+        # Zero-based loop over slot indices: j is the slot receiving the
+        # displaced resident, y = ceil(u*j) - 1 the slot it comes from.
+        # u in (0, 1] makes ceil(u*j) land in [1, j] already, so the
+        # defensive clamps of swap_positions() are provably dead here.
+        j = phi - 1
+        while j > 0:
+            if bpos >= block:
+                self._refill()
+                buf = self._buf
+                bpos = 0
+            v = buf[bpos] * j
+            bpos += 1
+            t = int(v)
+            y = t if t < v else t - 1
+            moved = stack[y]
+            stack[j] = moved
+            pos[moved] = j
+            j = y
+        stack[0] = referenced
+        pos[referenced] = 0
+        self._pos = bpos
+        return 1 + self._refills * block + bpos - draws_before
 
 
 class TopDownUpdate:

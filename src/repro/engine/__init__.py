@@ -1,0 +1,28 @@
+"""repro.engine — shared-memory parallel modeling engine.
+
+Two pieces:
+
+* :mod:`repro.engine.shm` — :class:`SharedTraceStore` /
+  :class:`AttachedTrace`: trace columns mapped into worker processes via
+  ``multiprocessing.shared_memory`` instead of being pickled per worker.
+* :mod:`repro.engine.sweep` — :class:`ModelSweep`: evaluate a grid of
+  (K, strategy, sampling-rate) KRR configurations across a process pool
+  in one call, with per-configuration seeds derived up front so results
+  are bit-identical regardless of worker count.
+
+The ground-truth simulation sweep (:func:`repro.simulator.parallel_klru_mrc`)
+runs on the same shared-memory store.
+"""
+
+from .shm import AttachedTrace, SharedTraceStore, TraceSpec
+from .sweep import ModelSweep, SweepConfig, SweepResult, model_sweep
+
+__all__ = [
+    "AttachedTrace",
+    "ModelSweep",
+    "SharedTraceStore",
+    "SweepConfig",
+    "SweepResult",
+    "TraceSpec",
+    "model_sweep",
+]

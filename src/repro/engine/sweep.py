@@ -1,0 +1,247 @@
+"""ModelSweep: evaluate a grid of KRR configurations in one parallel call.
+
+Capacity planning rarely wants a single model: "what does the MRC look
+like for K in {1, 2, 5, 10}, with and without spatial sampling?" is the
+natural question, and each (K, strategy, rate) configuration is an
+independent one-pass model over the same trace.  :class:`ModelSweep` fans
+that grid out over a process pool with the trace mapped — not pickled —
+into every worker via :class:`~repro.engine.shm.SharedTraceStore`.
+
+Determinism: every configuration's model seed is derived *up front* from
+the sweep seed via :class:`numpy.random.SeedSequence` spawning, indexed by
+the configuration's position in the grid.  Worker count, scheduling order
+and chunking therefore cannot change any result: ``max_workers=1`` and
+``max_workers=8`` produce bit-identical miss-ratio grids.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.model import KRRModel
+from ..mrc.builder import from_points
+from ..mrc.curve import MissRatioCurve
+from ..workloads.trace import Trace
+from .shm import AttachedTrace, SharedTraceStore, TraceSpec
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One point of the sweep grid: a full KRR model configuration."""
+
+    k: int = 5
+    strategy: str = "backward"
+    sampling_rate: Optional[float] = None
+    correction: bool = True
+    track_sizes: bool = False
+
+    def label(self) -> str:
+        rate = "full" if self.sampling_rate is None else f"R={self.sampling_rate:g}"
+        return f"K={self.k}/{self.strategy}/{rate}"
+
+
+@dataclass
+class SweepResult:
+    """One configuration's finished model: its curve points plus counters."""
+
+    config: SweepConfig
+    seed: int
+    sizes: np.ndarray
+    miss_ratios: np.ndarray
+    unit: str = "objects"
+    requests_seen: int = 0
+    requests_sampled: int = 0
+    cold_misses: int = 0
+    stack_updates: int = 0
+    swap_positions: int = 0
+
+    def mrc(self) -> MissRatioCurve:
+        return from_points(
+            self.sizes, self.miss_ratios, unit=self.unit, label=self.config.label()
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker plumbing.  The trace reaches workers one of two ways: attached
+# from shared memory (pool initializer) or installed directly (serial
+# in-process path).  Either way `_model_one` reads the module global.
+# ----------------------------------------------------------------------
+_WORKER_TRACE: Optional[Trace] = None
+_WORKER_ATTACHED: Optional[AttachedTrace] = None
+
+
+def _init_sweep_worker(spec: TraceSpec) -> None:
+    global _WORKER_TRACE, _WORKER_ATTACHED
+    _WORKER_ATTACHED = AttachedTrace(spec)
+    _WORKER_TRACE = _WORKER_ATTACHED.as_trace()
+
+
+def _install_trace(trace: Optional[Trace]) -> None:
+    global _WORKER_TRACE, _WORKER_ATTACHED
+    _WORKER_TRACE = trace
+    _WORKER_ATTACHED = None
+
+
+def _model_one(
+    args: Tuple[int, SweepConfig, int, Optional[int]]
+) -> Tuple[int, np.ndarray, np.ndarray, str, dict]:
+    """Run one configuration against the worker's trace; return raw arrays."""
+    index, config, seed, max_size = args
+    trace = _WORKER_TRACE
+    if trace is None:  # pragma: no cover - initializer contract violation
+        raise RuntimeError("sweep worker has no trace installed")
+    model = KRRModel(
+        k=config.k,
+        strategy=config.strategy,
+        sampling_rate=config.sampling_rate,
+        correction=config.correction,
+        track_sizes=config.track_sizes,
+        seed=seed,
+    )
+    result = model.process(trace)
+    if config.track_sizes:
+        curve = result.byte_mrc()
+        unit = "bytes"
+    else:
+        curve = result.mrc(max_size=max_size)
+        unit = "objects"
+    s = model.stats
+    stats = {
+        "requests_seen": s.requests_seen,
+        "requests_sampled": s.requests_sampled,
+        "cold_misses": s.cold_misses,
+        "stack_updates": s.stack_updates,
+        "swap_positions": s.swap_positions,
+    }
+    return index, curve.sizes, curve.miss_ratios, unit, stats
+
+
+class ModelSweep:
+    """A grid of KRR configurations evaluated over one trace.
+
+    Parameters
+    ----------
+    configs:
+        The grid points; build cross-products with :meth:`grid`.
+    seed:
+        Sweep-level seed.  Per-configuration model seeds are spawned from
+        it by grid position, so results are independent of worker count.
+
+    Example
+    -------
+    >>> sweep = ModelSweep.grid(ks=[1, 5], sampling_rates=[None, 0.01])
+    >>> results = sweep.run(trace, max_workers=4)
+    >>> results[0].config, float(results[0].miss_ratios[-1])  # doctest: +SKIP
+    """
+
+    def __init__(self, configs: Sequence[SweepConfig], seed: int = 0) -> None:
+        self.configs: List[SweepConfig] = list(configs)
+        if not self.configs:
+            raise ValueError("need at least one SweepConfig")
+        self.seed = int(seed)
+
+    @classmethod
+    def grid(
+        cls,
+        ks: Iterable[int],
+        strategies: Iterable[str] = ("backward",),
+        sampling_rates: Iterable[Optional[float]] = (None,),
+        correction: bool = True,
+        track_sizes: bool = False,
+        seed: int = 0,
+    ) -> "ModelSweep":
+        """Cross-product grid over K values, strategies and sampling rates."""
+        configs = [
+            SweepConfig(
+                k=int(k),
+                strategy=s,
+                sampling_rate=r,
+                correction=correction,
+                track_sizes=track_sizes,
+            )
+            for k, s, r in product(ks, strategies, sampling_rates)
+        ]
+        return cls(configs, seed=seed)
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def config_seeds(self) -> List[int]:
+        """Per-configuration model seeds, fixed by grid position."""
+        root = np.random.SeedSequence(self.seed)
+        return [
+            int(child.generate_state(1, dtype=np.uint64)[0] >> np.uint64(1))
+            for child in root.spawn(len(self.configs))
+        ]
+
+    def run(
+        self,
+        trace: Trace,
+        max_workers: Optional[int] = None,
+        max_size: Optional[int] = None,
+    ) -> List[SweepResult]:
+        """Evaluate every configuration; results ordered like ``configs``.
+
+        ``max_workers=None`` uses ``min(len(configs), cpu_count)``;
+        ``max_workers=1`` runs serially in-process (no pool, no shared
+        memory).  Either way the miss-ratio grids are bit-identical.
+        """
+        seeds = self.config_seeds()
+        tasks = [
+            (i, cfg, seeds[i], max_size) for i, cfg in enumerate(self.configs)
+        ]
+        if max_workers is None:
+            max_workers = min(len(tasks), os.cpu_count() or 1)
+        if max_workers <= 1 or len(tasks) == 1:
+            _install_trace(trace)
+            try:
+                rows = [_model_one(t) for t in tasks]
+            finally:
+                _install_trace(None)
+        else:
+            with SharedTraceStore(trace) as store:
+                with ProcessPoolExecutor(
+                    max_workers=max_workers,
+                    initializer=_init_sweep_worker,
+                    initargs=(store.spec,),
+                ) as pool:
+                    rows = list(pool.map(_model_one, tasks))
+        rows.sort(key=lambda r: r[0])
+        return [
+            SweepResult(
+                config=self.configs[i],
+                seed=seeds[i],
+                sizes=np.asarray(sizes),
+                miss_ratios=np.asarray(ratios),
+                unit=unit,
+                **stats,
+            )
+            for i, sizes, ratios, unit, stats in rows
+        ]
+
+
+def model_sweep(
+    trace: Trace,
+    ks: Iterable[int],
+    strategies: Iterable[str] = ("backward",),
+    sampling_rates: Iterable[Optional[float]] = (None,),
+    seed: int = 0,
+    max_workers: Optional[int] = None,
+    max_size: Optional[int] = None,
+    **grid_kwargs,
+) -> List[SweepResult]:
+    """Convenience: build a grid sweep and run it in one call."""
+    sweep = ModelSweep.grid(
+        ks,
+        strategies=strategies,
+        sampling_rates=sampling_rates,
+        seed=seed,
+        **grid_kwargs,
+    )
+    return sweep.run(trace, max_workers=max_workers, max_size=max_size)

@@ -1,10 +1,12 @@
-"""Process-parallel simulation sweeps.
+"""Process-parallel simulation sweeps over a shared-memory trace.
 
 Ground-truth MRCs need one independent full-trace simulation per cache
 size — embarrassingly parallel work that pure-Python simulators leave on
 the table.  This module fans the per-size simulations out over a
-``ProcessPoolExecutor``: the trace arrays are shipped once per worker (via
-the pool initializer), and each task simulates one (size, seed) pair.
+``ProcessPoolExecutor`` with the trace columns *mapped* into every worker
+through :class:`repro.engine.shm.SharedTraceStore` (zero-copy; only a tiny
+:class:`~repro.engine.shm.TraceSpec` handle is pickled), and each task
+simulates one (size, seed) pair.
 
 Workers are plain module-level functions (picklable); results are
 deterministic for a given ``rng`` seed regardless of worker count, because
@@ -15,40 +17,71 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .._util import RngLike, ensure_rng
+from ..engine.shm import AttachedTrace, SharedTraceStore, TraceSpec
 from ..mrc.builder import from_points
 from ..mrc.curve import MissRatioCurve
 from ..workloads.trace import Trace
 from .klru import ByteKLRUCache, KLRUCache
 from .sweep import byte_size_grid, object_size_grid
 
-# Per-worker trace columns, installed by the pool initializer.
-_WORKER_KEYS: Optional[np.ndarray] = None
-_WORKER_SIZES: Optional[np.ndarray] = None
+# Worker-side trace state: either an AttachedTrace (pool path) or the
+# columns installed directly as lists (serial in-process path).
+_WORKER_ATTACHED: Optional[AttachedTrace] = None
+_WORKER_COLUMNS: Optional[Tuple[List[int], List[int]]] = None
 
 
-def _init_worker(keys: np.ndarray, sizes: np.ndarray) -> None:
-    global _WORKER_KEYS, _WORKER_SIZES
-    _WORKER_KEYS = keys
-    _WORKER_SIZES = sizes
+def _init_worker(spec: TraceSpec) -> None:
+    """Pool initializer: attach the shared trace block (zero-copy)."""
+    global _WORKER_ATTACHED, _WORKER_COLUMNS
+    _WORKER_ATTACHED = AttachedTrace(spec)
+    _WORKER_COLUMNS = None
+
+
+def _install_columns(keys: np.ndarray, sizes: np.ndarray) -> None:
+    """Serial path: install trace columns without shared memory."""
+    global _WORKER_ATTACHED, _WORKER_COLUMNS
+    _WORKER_ATTACHED = None
+    _WORKER_COLUMNS = (keys.tolist(), sizes.tolist())
+
+
+def _clear_worker_state() -> None:
+    global _WORKER_ATTACHED, _WORKER_COLUMNS
+    _WORKER_ATTACHED = None
+    _WORKER_COLUMNS = None
+
+
+def _worker_columns() -> Tuple[List[int], List[int]]:
+    """(keys, sizes) as Python lists, converted once per worker.
+
+    Iterating NumPy arrays element-wise boxes a NumPy scalar per element
+    (~10x slower arithmetic than plain ints — same idiom as
+    ``_BufferedUniform``); one ``tolist()`` per worker amortizes the
+    conversion over every task the worker runs.
+    """
+    global _WORKER_COLUMNS
+    if _WORKER_COLUMNS is None:
+        if _WORKER_ATTACHED is None:  # pragma: no cover - init contract
+            raise RuntimeError("simulation worker has no trace installed")
+        _WORKER_COLUMNS = _WORKER_ATTACHED.columns_as_lists()
+    return _WORKER_COLUMNS
 
 
 def _simulate_one(args: tuple[int, int, bool, bool, int]) -> float:
     """Simulate one cache size in a worker; returns its miss ratio."""
     capacity, k, with_replacement, byte_capacity, seed = args
-    keys = _WORKER_KEYS
-    sizes = _WORKER_SIZES
+    keys, sizes = _worker_columns()
     if byte_capacity:
         cache = ByteKLRUCache(capacity, k, with_replacement, rng=seed)
     else:
         cache = KLRUCache(capacity, k, with_replacement, rng=seed)
     access = cache.access
-    for i in range(keys.shape[0]):
-        access(int(keys[i]), int(sizes[i]))
+    for key, size in zip(keys, sizes):
+        access(key, size)
     return cache.stats.miss_ratio
 
 
@@ -86,14 +119,18 @@ def parallel_klru_mrc(
     if max_workers is None:
         max_workers = min(len(tasks), os.cpu_count() or 1)
     if max_workers <= 1 or len(tasks) == 1:
-        _init_worker(trace.keys, trace.sizes)
-        ratios = [_simulate_one(t) for t in tasks]
+        _install_columns(trace.keys, trace.sizes)
+        try:
+            ratios = [_simulate_one(t) for t in tasks]
+        finally:
+            _clear_worker_state()
     else:
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_init_worker,
-            initargs=(trace.keys, trace.sizes),
-        ) as pool:
-            ratios = list(pool.map(_simulate_one, tasks))
+        with SharedTraceStore(trace) as store:
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_init_worker,
+                initargs=(store.spec,),
+            ) as pool:
+                ratios = list(pool.map(_simulate_one, tasks))
     unit = "bytes" if byte_capacity else "objects"
     return from_points(grid, ratios, unit=unit, label=label or f"K-LRU(K={k})")

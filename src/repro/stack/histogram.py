@@ -67,6 +67,30 @@ class DistanceHistogram:
     def record_cold(self) -> None:
         self.record(0)
 
+    def record_many(self, distances) -> None:
+        """Bulk :meth:`record`: one ``bincount`` pass over a batch.
+
+        Elementwise equivalent to ``for d in distances: self.record(d)``
+        (values < 1 count as cold) but vectorized — this is the histogram
+        half of the batched model hot path.
+        """
+        arr = np.asarray(distances, dtype=np.int64)
+        n = int(arr.shape[0])
+        if n == 0:
+            return
+        self._total += n
+        finite = arr[arr >= 1]
+        self._cold += n - int(finite.shape[0])
+        if finite.shape[0] == 0:
+            return
+        counts = np.bincount(finite)
+        if counts.shape[0] > self._counts.shape[0]:
+            new_cap = max(self._counts.shape[0] * 2, counts.shape[0])
+            grown = np.zeros(new_cap, dtype=np.int64)
+            grown[: self._counts.shape[0]] = self._counts
+            self._counts = grown
+        self._counts[: counts.shape[0]] += counts
+
     def counts(self) -> np.ndarray:
         """Counts indexed by distance (index 0 unused); trimmed copy."""
         nz = np.flatnonzero(self._counts)
@@ -162,6 +186,32 @@ class ByteDistanceHistogram:
 
     def record_cold(self) -> None:
         self.record(-1.0)
+
+    def record_many(self, distances_bytes) -> None:
+        """Bulk :meth:`record`: vectorized bucketing of a distance batch.
+
+        Elementwise equivalent to calling :meth:`record` per value
+        (negative values count as cold); ``int()`` truncation and the
+        ``astype(int64)`` cast agree for the non-negative distances used
+        here.
+        """
+        arr = np.asarray(distances_bytes, dtype=np.float64)
+        n = int(arr.shape[0])
+        if n == 0:
+            return
+        self._total += n
+        finite = arr[arr >= 0]
+        self._cold += n - int(finite.shape[0])
+        if finite.shape[0] == 0:
+            return
+        buckets = (finite * self._scale).astype(np.int64) // self._bin
+        counts = np.bincount(buckets)
+        if counts.shape[0] > self._counts.shape[0]:
+            new_cap = max(self._counts.shape[0] * 2, counts.shape[0])
+            grown = np.zeros(new_cap, dtype=np.int64)
+            grown[: self._counts.shape[0]] = self._counts
+            self._counts = grown
+        self._counts[: counts.shape[0]] += counts
 
     def miss_ratio_curve(self):
         """``(sizes_bytes, miss_ratios)`` at bucket-boundary cache sizes.
