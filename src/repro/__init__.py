@@ -38,7 +38,7 @@ from . import (
 )
 from .core.krr import KRRStack
 from .core.model import KRRModel, KRRResult, model_trace
-from .engine import ModelSweep, SweepConfig
+from .engine import ModelSweep, RunReport, SweepConfig
 from .mrc.curve import MissRatioCurve
 from .workloads.trace import Trace
 
@@ -50,6 +50,7 @@ __all__ = [
     "KRRStack",
     "MissRatioCurve",
     "ModelSweep",
+    "RunReport",
     "SweepConfig",
     "Trace",
     "adaptive",

@@ -6,6 +6,8 @@ Usage (also via ``python -m repro``):
     repro info trace.csv
     repro model trace.csv --k 5 --rate 0.01 -o mrc.csv
     repro sweep trace.csv --ks 1,5,10 --rates none,0.01 --workers 4 -o grid.csv
+    repro sweep trace.csv --ks 1,5 --checkpoint sweep.ckpt --task-timeout 600 \
+        --retries 3 --report run_report.json -o grid.csv
     repro simulate trace.csv --policy lru --k 5 --points 10
     repro compare trace.csv --k 5 --points 8
     repro classify trace.csv
@@ -154,14 +156,30 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         correction=not args.no_correction,
         seed=args.seed,
     )
-    results = sweep.run(
-        trace, max_workers=args.workers, max_size=args.max_size
+    results, report = sweep.run_with_report(
+        trace,
+        max_workers=args.workers,
+        max_size=args.max_size,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        checkpoint=args.checkpoint,
     )
     print(
         f"# {len(results)} configs x {len(trace)} requests "
         f"(workers={args.workers or 'auto'}, seed={args.seed})",
         file=sys.stderr,
     )
+    print(
+        f"# run: mode={report.mode} attempts={report.attempts} "
+        f"retries={report.retries} timeouts={report.timeouts} "
+        f"rebuilds={report.pool_rebuilds} "
+        f"degraded={report.degraded_to_serial} "
+        f"resumed={report.from_checkpoint} wall={report.wall_time:.2f}s",
+        file=sys.stderr,
+    )
+    if args.report:
+        Path(args.report).write_text(report.to_json() + "\n")
+        print(f"wrote run report to {args.report}", file=sys.stderr)
     for r in results:
         print(
             f"# {r.config.label():28s} sampled={r.requests_sampled}"
@@ -285,6 +303,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="process count (default: min(configs, cpus))")
     sw.add_argument("--max-size", type=int, default=None,
                     help="cap the MRC size axis")
+    sw.add_argument("--checkpoint", default=None, metavar="PATH",
+                    help="JSONL checkpoint: stream finished configs here and "
+                         "resume an interrupted sweep by skipping them")
+    sw.add_argument("--task-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="kill and retry any config running longer than this")
+    sw.add_argument("--retries", type=int, default=2,
+                    help="retry budget per config for transient worker "
+                         "failures and timeouts (default: 2)")
+    sw.add_argument("--report", default=None, metavar="PATH",
+                    help="write the structured RunReport (attempts, retries, "
+                         "timeouts, per-config wall time) as JSON")
     sw.add_argument("-o", "--output", default=None,
                     help="long-format CSV (k,strategy,rate,size,miss_ratio)")
     sw.set_defaults(func=cmd_sweep)

@@ -1,28 +1,55 @@
 """repro.engine — shared-memory parallel modeling engine.
 
-Two pieces:
+Four pieces:
 
 * :mod:`repro.engine.shm` — :class:`SharedTraceStore` /
   :class:`AttachedTrace`: trace columns mapped into worker processes via
-  ``multiprocessing.shared_memory`` instead of being pickled per worker.
+  ``multiprocessing.shared_memory`` instead of being pickled per worker,
+  with an atexit/SIGTERM registry that unlinks segments even when the
+  parent dies mid-sweep.
+* :mod:`repro.engine.runner` — :class:`ResilientRunner`: per-task
+  timeouts, bounded retries with backoff, automatic pool rebuild on
+  worker death, graceful degradation to serial execution, and a
+  structured :class:`RunReport` for every run.
 * :mod:`repro.engine.sweep` — :class:`ModelSweep`: evaluate a grid of
   (K, strategy, sampling-rate) KRR configurations across a process pool
   in one call, with per-configuration seeds derived up front so results
-  are bit-identical regardless of worker count.
+  are bit-identical regardless of worker count *or* recovery path, plus
+  JSONL checkpoint/resume via :class:`SweepCheckpoint`.
+* :mod:`repro.engine.faults` — deterministic fault injection
+  (``REPRO_FAULTS``) used by the tests to prove every recovery path.
 
 The ground-truth simulation sweep (:func:`repro.simulator.parallel_klru_mrc`)
-runs on the same shared-memory store.
+runs on the same shared-memory store and resilient runner.
 """
 
+from .checkpoint import CheckpointMismatch, SweepCheckpoint
+from .faults import FaultPlan, maybe_inject
+from .runner import (
+    ResilientRunner,
+    RunReport,
+    TaskFailedError,
+    TaskReport,
+    TransientTaskError,
+)
 from .shm import AttachedTrace, SharedTraceStore, TraceSpec
 from .sweep import ModelSweep, SweepConfig, SweepResult, model_sweep
 
 __all__ = [
     "AttachedTrace",
+    "CheckpointMismatch",
+    "FaultPlan",
     "ModelSweep",
+    "ResilientRunner",
+    "RunReport",
     "SharedTraceStore",
+    "SweepCheckpoint",
     "SweepConfig",
     "SweepResult",
+    "TaskFailedError",
+    "TaskReport",
     "TraceSpec",
+    "TransientTaskError",
+    "maybe_inject",
     "model_sweep",
 ]

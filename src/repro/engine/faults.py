@@ -1,0 +1,162 @@
+"""Deterministic fault injection for proving the runner's recovery paths.
+
+Worker death, hangs and transient errors are impossible to unit-test
+without a way to cause them on demand.  This module injects faults into
+sweep/simulation workers, driven by the ``REPRO_FAULTS`` environment
+variable (inherited by pool workers), so tests — and operators debugging
+a flaky fleet — can script failures per grid position:
+
+    REPRO_FAULTS="crash-once@2;state=/tmp/faults"     # task 2's worker dies once
+    REPRO_FAULTS="hang-once@0:60;state=/tmp/faults"   # task 0 hangs 60s, once
+    REPRO_FAULTS="flaky@1:2;state=/tmp/faults"        # task 1 raises twice
+
+Grammar: ``;``-separated clauses of ``mode@index[:arg]`` plus an optional
+``state=<dir>`` naming the latch directory for one-shot semantics.
+
+Modes
+-----
+``crash@i`` / ``crash-once@i``
+    ``os._exit(70)`` whenever / the first time task ``i`` runs.  Fires
+    only in pool workers (``multiprocessing.parent_process()`` is set):
+    these modes simulate *worker* death, so they are no-ops on the serial
+    and degraded-to-serial paths — which is exactly what lets a
+    crash-always fault demonstrate graceful degradation end to end.
+``hang@i[:secs]`` / ``hang-once@i[:secs]``
+    Sleep ``secs`` (default 300) in the worker, tripping the per-task
+    timeout.  Worker-only, like ``crash``.
+``flaky@i[:n]``
+    Raise :class:`~repro.engine.runner.TransientTaskError` the first
+    ``n`` times (default 1) task ``i`` runs, in any process.
+
+One-shot bookkeeping must survive process death, so "has this fired?"
+lives in latch files claimed with ``O_CREAT | O_EXCL`` (atomic across
+processes) under the ``state=`` directory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+from .runner import TransientTaskError
+
+ENV_VAR = "REPRO_FAULTS"
+
+_MODES = ("crash", "crash-once", "hang", "hang-once", "flaky")
+
+
+@dataclass(frozen=True)
+class _Clause:
+    mode: str
+    index: int
+    arg: Optional[float]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed ``REPRO_FAULTS`` spec; :meth:`fire` injects at a task index."""
+
+    clauses: Tuple[_Clause, ...]
+    state_dir: Optional[str] = None
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        clauses = []
+        state_dir = None
+        for part in spec.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            if part.startswith("state="):
+                state_dir = part[len("state="):]
+                continue
+            mode, sep, rest = part.partition("@")
+            if not sep or mode not in _MODES:
+                raise ValueError(
+                    f"bad fault clause {part!r}: want mode@index[:arg] "
+                    f"with mode in {_MODES}"
+                )
+            idx_s, _, arg_s = rest.partition(":")
+            clauses.append(
+                _Clause(mode, int(idx_s), float(arg_s) if arg_s else None)
+            )
+        return cls(tuple(clauses), state_dir)
+
+    # ------------------------------------------------------------------
+    def fire(self, index: int) -> None:
+        for clause in self.clauses:
+            if clause.index == int(index):
+                self._fire(clause)
+
+    def _fire(self, c: _Clause) -> None:
+        if c.mode == "flaky":
+            limit = int(c.arg) if c.arg else 1
+            if self._claim(f"flaky-{c.index}", limit):
+                raise TransientTaskError(
+                    f"injected transient failure (task {c.index})"
+                )
+            return
+        # crash/hang simulate *worker* death; never take down the parent.
+        if multiprocessing.parent_process() is None:
+            return
+        if c.mode == "crash":
+            os._exit(70)
+        elif c.mode == "crash-once":
+            if self._claim(f"crash-{c.index}", 1):
+                os._exit(70)
+        elif c.mode == "hang":
+            time.sleep(c.arg if c.arg is not None else 300.0)
+        elif c.mode == "hang-once":
+            if self._claim(f"hang-{c.index}", 1):
+                time.sleep(c.arg if c.arg is not None else 300.0)
+
+    def _claim(self, tag: str, limit: int) -> bool:
+        """Atomically claim one of ``limit`` tickets for ``tag``.
+
+        Ticket files are created with ``O_CREAT | O_EXCL`` so exactly
+        ``limit`` claims succeed across any number of processes.
+        """
+        state = Path(self.state_dir) if self.state_dir else _default_state_dir()
+        state.mkdir(parents=True, exist_ok=True)
+        for i in range(max(1, limit)):
+            try:
+                fd = os.open(
+                    state / f"{tag}.{i}", os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+
+def _default_state_dir() -> Path:
+    """Latch directory shared by the parent and its pool workers."""
+    parent = multiprocessing.parent_process()
+    root_pid = parent.pid if parent is not None else os.getpid()
+    return Path(tempfile.gettempdir()) / f"repro-faults-{root_pid}"
+
+
+_plan_cache: dict = {}
+
+
+def maybe_inject(task_index: int) -> None:
+    """Inject any fault configured for ``task_index`` (no-op when unset).
+
+    Workers call this at task start; ``REPRO_FAULTS`` is read at call
+    time so pool children (which inherit the environment) and the serial
+    path see the same plan.
+    """
+    spec = os.environ.get(ENV_VAR)
+    if not spec:
+        return
+    plan = _plan_cache.get(spec)
+    if plan is None:
+        plan = FaultPlan.parse(spec)
+        _plan_cache[spec] = plan
+    plan.fire(task_index)

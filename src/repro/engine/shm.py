@@ -20,10 +20,23 @@ pool has been joined.  Workers are pool children forked/spawned from the
 creator, so they share its ``resource_tracker`` process and their attach-
 side registration is an idempotent no-op — the segment is unlinked exactly
 once, by the creator.
+
+As a backstop for the creator dying mid-sweep, every live store is held in
+a process-wide registry drained by an ``atexit`` hook and a chained
+``SIGTERM`` handler: a parent killed by its supervisor (or exiting down an
+exception path that skips ``close()``) still unlinks its segments instead
+of leaking them in ``/dev/shm`` until reboot.  SIGKILL cannot be caught —
+for that the OS-level ``resource_tracker`` remains the last line of
+defense.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
+import signal
+import threading
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import List, Optional, Tuple
@@ -31,6 +44,50 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..workloads.trace import Trace
+
+# ----------------------------------------------------------------------
+# Guaranteed-cleanup registry: every live creator-side store, unlinked on
+# interpreter exit and on SIGTERM even when close() was never reached.
+# ----------------------------------------------------------------------
+_LIVE_STORES: "weakref.WeakSet[SharedTraceStore]" = weakref.WeakSet()
+_CLEANUP_LOCK = threading.Lock()
+_CLEANUP_INSTALLED = False
+_PREV_SIGTERM = None
+
+
+def _cleanup_live_stores() -> None:
+    """Close (and thus unlink) every still-open store; never raises."""
+    for store in list(_LIVE_STORES):
+        try:
+            store.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+def _sigterm_cleanup(signum, frame) -> None:  # pragma: no cover - signal path
+    _cleanup_live_stores()
+    previous = _PREV_SIGTERM
+    if callable(previous):
+        previous(signum, frame)
+    elif previous is signal.SIG_IGN:
+        return
+    else:
+        # Preserve kill-by-SIGTERM exit semantics for supervisors.
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        os.kill(os.getpid(), signal.SIGTERM)
+
+
+def _install_cleanup_handlers() -> None:
+    global _CLEANUP_INSTALLED, _PREV_SIGTERM
+    with _CLEANUP_LOCK:
+        if _CLEANUP_INSTALLED:
+            return
+        atexit.register(_cleanup_live_stores)
+        try:
+            _PREV_SIGTERM = signal.signal(signal.SIGTERM, _sigterm_cleanup)
+        except ValueError:  # pragma: no cover - not the main thread
+            _PREV_SIGTERM = None
+        _CLEANUP_INSTALLED = True
 
 
 @dataclass(frozen=True)
@@ -86,6 +143,11 @@ class SharedTraceStore:
         ops[:] = trace.ops
         self._views: Optional[tuple] = (keys, sizes, ops)
         self._closed = False
+        # Forked pool workers inherit this object (and the SIGTERM cleanup
+        # handler); only the creating process may unlink the segment.
+        self._owner_pid = os.getpid()
+        _install_cleanup_handlers()
+        _LIVE_STORES.add(self)
 
     @property
     def n_requests(self) -> int:
@@ -103,8 +165,11 @@ class SharedTraceStore:
         if self._closed:
             return
         self._closed = True
+        _LIVE_STORES.discard(self)
         self._views = None
         self._shm.close()
+        if os.getpid() != self._owner_pid:
+            return  # inherited copy in a forked child: never unlink
         try:
             self._shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already unlinked

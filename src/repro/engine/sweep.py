@@ -11,15 +11,24 @@ Determinism: every configuration's model seed is derived *up front* from
 the sweep seed via :class:`numpy.random.SeedSequence` spawning, indexed by
 the configuration's position in the grid.  Worker count, scheduling order
 and chunking therefore cannot change any result: ``max_workers=1`` and
-``max_workers=8`` produce bit-identical miss-ratio grids.
+``max_workers=8`` produce bit-identical miss-ratio grids — and so do the
+fault-recovery paths (retry, pool rebuild, degradation to serial) taken by
+the :class:`~repro.engine.runner.ResilientRunner` underneath
+:meth:`ModelSweep.run`.
+
+Fault tolerance: :meth:`ModelSweep.run_with_report` drives the grid
+through the resilient runner (per-task timeout, bounded retries, pool
+rebuild on worker death, serial fallback), streams each finished row to
+an optional JSONL checkpoint for resume, and returns a structured
+:class:`~repro.engine.runner.RunReport` next to the results.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import zlib
+from dataclasses import asdict, dataclass
 from itertools import product
+from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -28,6 +37,9 @@ from ..core.model import KRRModel
 from ..mrc.builder import from_points
 from ..mrc.curve import MissRatioCurve
 from ..workloads.trace import Trace
+from .checkpoint import SweepCheckpoint
+from .faults import maybe_inject
+from .runner import ResilientRunner, RunReport, resolve_workers
 from .shm import AttachedTrace, SharedTraceStore, TraceSpec
 
 
@@ -93,6 +105,7 @@ def _model_one(
 ) -> Tuple[int, np.ndarray, np.ndarray, str, dict]:
     """Run one configuration against the worker's trace; return raw arrays."""
     index, config, seed, max_size = args
+    maybe_inject(index)
     trace = _WORKER_TRACE
     if trace is None:  # pragma: no cover - initializer contract violation
         raise RuntimeError("sweep worker has no trace installed")
@@ -185,35 +198,85 @@ class ModelSweep:
         trace: Trace,
         max_workers: Optional[int] = None,
         max_size: Optional[int] = None,
+        **runner_kwargs,
     ) -> List[SweepResult]:
         """Evaluate every configuration; results ordered like ``configs``.
 
         ``max_workers=None`` uses ``min(len(configs), cpu_count)``;
         ``max_workers=1`` runs serially in-process (no pool, no shared
         memory).  Either way the miss-ratio grids are bit-identical.
+        Keyword arguments (``task_timeout``, ``retries``, ``checkpoint``,
+        ...) are forwarded to :meth:`run_with_report`.
+        """
+        results, _ = self.run_with_report(
+            trace, max_workers=max_workers, max_size=max_size, **runner_kwargs
+        )
+        return results
+
+    def run_with_report(
+        self,
+        trace: Trace,
+        max_workers: Optional[int] = None,
+        max_size: Optional[int] = None,
+        *,
+        task_timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.5,
+        max_pool_rebuilds: int = 3,
+        checkpoint: Union[str, Path, None] = None,
+    ) -> Tuple[List[SweepResult], RunReport]:
+        """Fault-tolerant evaluation: ``(results, RunReport)``.
+
+        The grid runs through a :class:`ResilientRunner`: each config gets
+        its own ``submit()`` with an optional ``task_timeout`` deadline,
+        transient failures retry up to ``retries`` times with exponential
+        ``backoff``, a dead pool is rebuilt up to ``max_pool_rebuilds``
+        times and then the remaining configs run serially in-process
+        (with a :class:`RuntimeWarning`).  None of it can change results:
+        per-config seeds are fixed by grid position.
+
+        ``checkpoint`` names a JSON-lines file: finished rows stream to it
+        as they complete, and a rerun with the same sweep/trace skips the
+        grid positions already on disk (resume).
         """
         seeds = self.config_seeds()
         tasks = [
             (i, cfg, seeds[i], max_size) for i, cfg in enumerate(self.configs)
         ]
-        if max_workers is None:
-            max_workers = min(len(tasks), os.cpu_count() or 1)
-        if max_workers <= 1 or len(tasks) == 1:
-            _install_trace(trace)
-            try:
-                rows = [_model_one(t) for t in tasks]
-            finally:
-                _install_trace(None)
-        else:
+
+        ckpt: Optional[SweepCheckpoint] = None
+        completed: dict = {}
+        if checkpoint is not None:
+            ckpt = SweepCheckpoint(
+                checkpoint, self._signature(trace, max_size)
+            )
+            completed = ckpt.load()
+        on_result = (lambda i, row: ckpt.append(row)) if ckpt else None
+
+        remaining = len(tasks) - len(completed)
+        workers = resolve_workers(max_workers, remaining)
+        runner = ResilientRunner(
+            _model_one,
+            max_workers=workers,
+            initializer=_init_sweep_worker,
+            serial_setup=lambda: _install_trace(trace),
+            serial_teardown=lambda: _install_trace(None),
+            task_timeout=task_timeout,
+            retries=retries,
+            backoff=backoff,
+            max_pool_rebuilds=max_pool_rebuilds,
+        )
+        if workers > 1 and remaining > 1:
             with SharedTraceStore(trace) as store:
-                with ProcessPoolExecutor(
-                    max_workers=max_workers,
-                    initializer=_init_sweep_worker,
-                    initargs=(store.spec,),
-                ) as pool:
-                    rows = list(pool.map(_model_one, tasks))
-        rows.sort(key=lambda r: r[0])
-        return [
+                runner.initargs = (store.spec,)
+                rows, report = runner.run(
+                    tasks, completed=completed, on_result=on_result
+                )
+        else:
+            rows, report = runner.run(
+                tasks, completed=completed, on_result=on_result
+            )
+        results = [
             SweepResult(
                 config=self.configs[i],
                 seed=seeds[i],
@@ -224,6 +287,23 @@ class ModelSweep:
             )
             for i, sizes, ratios, unit, stats in rows
         ]
+        return results, report
+
+    def _signature(self, trace: Trace, max_size: Optional[int]) -> dict:
+        """Checkpoint fingerprint: the sweep, its inputs, and the trace."""
+        crc = zlib.crc32(trace.keys.tobytes())
+        crc = zlib.crc32(trace.sizes.tobytes(), crc)
+        crc = zlib.crc32(trace.ops.tobytes(), crc)
+        return {
+            "sweep_seed": self.seed,
+            "max_size": max_size,
+            "configs": [asdict(c) for c in self.configs],
+            "trace": {
+                "n": len(trace),
+                "name": trace.name,
+                "crc32": crc,
+            },
+        }
 
 
 def model_sweep(

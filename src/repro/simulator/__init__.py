@@ -4,7 +4,7 @@ from .base import CacheSimulator, CacheStats, run_trace
 from .klru import ByteKLRUCache, KLRUCache
 from .lru import ByteLRUCache, LRUCache
 from .mini import miniature_klru_mrc, miniature_lru_mrc
-from .parallel import parallel_klru_mrc
+from .parallel import parallel_klru_mrc, parallel_klru_mrc_with_report
 from .redis_like import EVPOOL_SIZE, LRU_BITS, RedisLikeCache
 from .sweep import (
     byte_klru_mrc,
@@ -36,6 +36,7 @@ __all__ = [
     "miniature_lru_mrc",
     "object_size_grid",
     "parallel_klru_mrc",
+    "parallel_klru_mrc_with_report",
     "redis_mrc",
     "run_trace",
     "sweep_mrc",

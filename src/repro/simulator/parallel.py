@@ -2,26 +2,30 @@
 
 Ground-truth MRCs need one independent full-trace simulation per cache
 size — embarrassingly parallel work that pure-Python simulators leave on
-the table.  This module fans the per-size simulations out over a
-``ProcessPoolExecutor`` with the trace columns *mapped* into every worker
-through :class:`repro.engine.shm.SharedTraceStore` (zero-copy; only a tiny
+the table.  This module fans the per-size simulations out over a process
+pool with the trace columns *mapped* into every worker through
+:class:`repro.engine.shm.SharedTraceStore` (zero-copy; only a tiny
 :class:`~repro.engine.shm.TraceSpec` handle is pickled), and each task
 simulates one (size, seed) pair.
 
-Workers are plain module-level functions (picklable); results are
-deterministic for a given ``rng`` seed regardless of worker count, because
-every size's simulator seed is derived from the size index up front.
+Execution goes through :class:`repro.engine.runner.ResilientRunner`: a
+worker OOM-killed mid-grid triggers a pool rebuild instead of discarding
+every finished size, a hung worker trips the optional per-task timeout,
+and a pool that keeps dying degrades to serial in-process simulation with
+a warning.  None of it can change results: every size's simulator seed is
+derived from the size index up front, so the miss ratios are deterministic
+for a given ``rng`` seed regardless of worker count or recovery path.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .._util import RngLike, ensure_rng
+from ..engine.faults import maybe_inject
+from ..engine.runner import ResilientRunner, RunReport, resolve_workers
 from ..engine.shm import AttachedTrace, SharedTraceStore, TraceSpec
 from ..mrc.builder import from_points
 from ..mrc.curve import MissRatioCurve
@@ -71,9 +75,10 @@ def _worker_columns() -> Tuple[List[int], List[int]]:
     return _WORKER_COLUMNS
 
 
-def _simulate_one(args: tuple[int, int, bool, bool, int]) -> float:
+def _simulate_one(args: tuple[int, int, int, bool, bool, int]) -> float:
     """Simulate one cache size in a worker; returns its miss ratio."""
-    capacity, k, with_replacement, byte_capacity, seed = args
+    index, capacity, k, with_replacement, byte_capacity, seed = args
+    maybe_inject(index)
     keys, sizes = _worker_columns()
     if byte_capacity:
         cache = ByteKLRUCache(capacity, k, with_replacement, rng=seed)
@@ -95,13 +100,56 @@ def parallel_klru_mrc(
     rng: RngLike = None,
     max_workers: Optional[int] = None,
     label: str | None = None,
+    task_timeout: Optional[float] = None,
+    retries: int = 2,
 ) -> MissRatioCurve:
     """Ground-truth K-LRU MRC with per-size simulations run in parallel.
 
     Functionally equivalent to :func:`repro.simulator.sweep.klru_mrc` /
     :func:`~repro.simulator.sweep.byte_klru_mrc`; wall-clock scales with
     ``min(len(sizes), max_workers)`` workers.  Set ``max_workers=1`` (or
-    when only one size is requested) to run inline without a pool.
+    when only one size is requested) to run inline without a pool.  See
+    :func:`parallel_klru_mrc_with_report` for the fault-tolerance knobs
+    and the per-run :class:`~repro.engine.runner.RunReport`.
+    """
+    curve, _ = parallel_klru_mrc_with_report(
+        trace,
+        k,
+        sizes=sizes,
+        n_points=n_points,
+        with_replacement=with_replacement,
+        byte_capacity=byte_capacity,
+        rng=rng,
+        max_workers=max_workers,
+        label=label,
+        task_timeout=task_timeout,
+        retries=retries,
+    )
+    return curve
+
+
+def parallel_klru_mrc_with_report(
+    trace: Trace,
+    k: int,
+    sizes: Sequence[int] | None = None,
+    n_points: int = 40,
+    with_replacement: bool = True,
+    byte_capacity: bool = False,
+    rng: RngLike = None,
+    max_workers: Optional[int] = None,
+    label: str | None = None,
+    task_timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.5,
+    max_pool_rebuilds: int = 3,
+) -> Tuple[MissRatioCurve, RunReport]:
+    """Like :func:`parallel_klru_mrc`, returning ``(curve, RunReport)``.
+
+    ``task_timeout`` bounds each per-size simulation (a hung worker is
+    killed and the size retried); transient worker failures retry up to
+    ``retries`` times with exponential ``backoff``; a pool that dies more
+    than ``max_pool_rebuilds`` times degrades to serial in-process
+    simulation with a :class:`RuntimeWarning`.
     """
     rng = ensure_rng(rng)
     if sizes is None:
@@ -112,25 +160,30 @@ def parallel_klru_mrc(
         grid = np.asarray(sorted(int(s) for s in sizes), dtype=np.int64)
     seeds = [int(s) for s in rng.integers(0, 2**63, size=grid.shape[0])]
     tasks = [
-        (int(grid[i]), int(k), with_replacement, byte_capacity, seeds[i])
+        (i, int(grid[i]), int(k), with_replacement, byte_capacity, seeds[i])
         for i in range(grid.shape[0])
     ]
 
-    if max_workers is None:
-        max_workers = min(len(tasks), os.cpu_count() or 1)
-    if max_workers <= 1 or len(tasks) == 1:
-        _install_columns(trace.keys, trace.sizes)
-        try:
-            ratios = [_simulate_one(t) for t in tasks]
-        finally:
-            _clear_worker_state()
-    else:
+    workers = resolve_workers(max_workers, len(tasks))
+    runner = ResilientRunner(
+        _simulate_one,
+        max_workers=workers,
+        initializer=_init_worker,
+        serial_setup=lambda: _install_columns(trace.keys, trace.sizes),
+        serial_teardown=_clear_worker_state,
+        task_timeout=task_timeout,
+        retries=retries,
+        backoff=backoff,
+        max_pool_rebuilds=max_pool_rebuilds,
+    )
+    if workers > 1 and len(tasks) > 1:
         with SharedTraceStore(trace) as store:
-            with ProcessPoolExecutor(
-                max_workers=max_workers,
-                initializer=_init_worker,
-                initargs=(store.spec,),
-            ) as pool:
-                ratios = list(pool.map(_simulate_one, tasks))
+            runner.initargs = (store.spec,)
+            ratios, report = runner.run(tasks)
+    else:
+        ratios, report = runner.run(tasks)
     unit = "bytes" if byte_capacity else "objects"
-    return from_points(grid, ratios, unit=unit, label=label or f"K-LRU(K={k})")
+    curve = from_points(
+        grid, ratios, unit=unit, label=label or f"K-LRU(K={k})"
+    )
+    return curve, report

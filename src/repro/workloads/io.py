@@ -2,6 +2,12 @@
 
 CSV columns are ``key,size,op`` with a header row; ``op`` is the textual
 name (``get``/``set``/``delete``).  NPZ stores the three arrays verbatim.
+
+Real-world trace files are dirty: short rows, non-numeric keys, unknown
+op names.  :func:`load_csv` defaults to ``errors="strict"`` (raise on the
+first bad row) but accepts ``errors="skip"`` to drop malformed rows and
+report the count on ``trace.skipped_rows`` — so one corrupt line does not
+abort a multi-hour sweep over an otherwise good trace.
 """
 
 from __future__ import annotations
@@ -29,12 +35,23 @@ def save_csv(trace: Trace, path: PathLike) -> None:
             )
 
 
-def load_csv(path: PathLike, name: str | None = None) -> Trace:
-    """Read a trace written by :func:`save_csv` (or any key,size,op CSV)."""
+def load_csv(
+    path: PathLike, name: str | None = None, errors: str = "strict"
+) -> Trace:
+    """Read a trace written by :func:`save_csv` (or any key,size,op CSV).
+
+    ``errors="strict"`` (default) raises on the first malformed row;
+    ``errors="skip"`` drops malformed rows (short rows, non-integer
+    fields, out-of-range values, unknown op names, sizes < 1) and reports
+    the dropped count on the returned trace's ``skipped_rows``.
+    """
+    if errors not in ("strict", "skip"):
+        raise ValueError(f"errors must be 'strict' or 'skip', got {errors!r}")
     path = Path(path)
     keys: list[int] = []
     sizes: list[int] = []
     ops: list[int] = []
+    skipped = 0
     with path.open(newline="") as fh:
         reader = csv.reader(fh)
         header = next(reader, None)
@@ -50,35 +67,60 @@ def load_csv(path: PathLike, name: str | None = None) -> Trace:
         for row in reader:
             if not row:
                 continue
-            key = int(row[ki])
-            size = int(row[si]) if si is not None else 1
-            if not (int64_min <= key <= int64_max) or not (
-                int64_min <= size <= int64_max
-            ):
-                raise ValueError(
-                    f"{path}: key/size out of int64 range: {row!r}"
-                )
+            try:
+                key = int(row[ki])
+                size = int(row[si]) if si is not None else 1
+                if not (int64_min <= key <= int64_max) or not (
+                    int64_min <= size <= int64_max
+                ):
+                    raise ValueError(
+                        f"{path}: key/size out of int64 range: {row!r}"
+                    )
+                if size < 1:
+                    raise ValueError(
+                        f"{path}: object sizes must be >= 1 byte: {row!r}"
+                    )
+                op = op_code(row[oi].strip().lower()) if oi is not None else 0
+            except (ValueError, IndexError, KeyError):
+                if errors == "strict":
+                    raise
+                skipped += 1
+                continue
             keys.append(key)
             sizes.append(size)
-            ops.append(op_code(row[oi].strip().lower()) if oi is not None else 0)
+            ops.append(op)
     return Trace(
         np.asarray(keys, dtype=np.int64),
         np.asarray(sizes, dtype=np.int64),
         np.asarray(ops, dtype=np.int8),
         name=name or path.stem,
+        skipped_rows=skipped,
     )
 
 
+def _npz_path(path: PathLike) -> Path:
+    """Normalize to the ``.npz`` suffix numpy appends on save."""
+    path = Path(path)
+    return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+
+
 def save_npz(trace: Trace, path: PathLike) -> None:
-    """Write a trace to compressed NPZ (fast, lossless)."""
+    """Write a trace to compressed NPZ (fast, lossless).
+
+    The ``.npz`` suffix is normalized up front (numpy appends it anyway),
+    so ``save_npz(t, "foo")`` and ``load_npz("foo")`` round-trip.
+    """
     np.savez_compressed(
-        Path(path), keys=trace.keys, sizes=trace.sizes, ops=trace.ops,
+        _npz_path(path), keys=trace.keys, sizes=trace.sizes, ops=trace.ops,
         name=np.array(trace.name),
     )
 
 
 def load_npz(path: PathLike) -> Trace:
-    """Read a trace written by :func:`save_npz`."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        name = str(data["name"]) if "name" in data else Path(path).stem
+    """Read a trace written by :func:`save_npz` (suffix optional)."""
+    p = Path(path)
+    if not p.exists():
+        p = _npz_path(p)
+    with np.load(p, allow_pickle=False) as data:
+        name = str(data["name"]) if "name" in data else p.stem
         return Trace(data["keys"], data["sizes"], data["ops"], name=name)

@@ -58,9 +58,12 @@ class Trace:
         Operation codes (:data:`OP_GET` etc.).  ``None`` means all gets.
     name:
         Optional label used in reports and experiment tables.
+    skipped_rows:
+        Count of malformed input rows dropped by a lenient loader
+        (:func:`repro.workloads.io.load_csv` with ``errors="skip"``).
     """
 
-    __slots__ = ("keys", "sizes", "ops", "name", "_unique_cache")
+    __slots__ = ("keys", "sizes", "ops", "name", "skipped_rows", "_unique_cache")
 
     def __init__(
         self,
@@ -68,6 +71,7 @@ class Trace:
         sizes: Optional[Sequence[int]] = None,
         ops: Optional[Sequence[int]] = None,
         name: str = "trace",
+        skipped_rows: int = 0,
     ) -> None:
         self.keys = np.ascontiguousarray(keys, dtype=np.int64)
         if self.keys.ndim != 1:
@@ -88,6 +92,9 @@ class Trace:
             if self.ops.shape != (n,):
                 raise ValueError("ops must match keys length")
         self.name = name
+        # Rows a lenient loader dropped while building this trace (see
+        # ``load_csv(errors="skip")``); 0 for cleanly constructed traces.
+        self.skipped_rows = int(skipped_rows)
         self._unique_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------

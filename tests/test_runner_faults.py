@@ -1,0 +1,402 @@
+"""Fault-tolerance tests: runner recovery paths, checkpoint/resume, shm cleanup.
+
+Every recovery path the resilient runner claims is proven here with
+injected faults (``repro.engine.faults``):
+
+* a worker crash mid-grid rebuilds the pool and finishes with results
+  bit-identical to an uninterrupted ``max_workers=1`` run;
+* a hung worker trips the per-task timeout, is killed, and the task
+  retries successfully;
+* transient failures retry with a bounded budget, then fail loudly;
+* a pool that keeps dying degrades to serial with a warning — and the
+  same bit-identical results;
+* an interrupted checkpointed sweep resumes running only the remaining
+  grid positions;
+* the shared-memory segment is unlinked when the parent is SIGTERM-killed
+  mid-life or exits without ``close()``.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    CheckpointMismatch,
+    ModelSweep,
+    ResilientRunner,
+    TaskFailedError,
+    TransientTaskError,
+)
+from repro.engine.faults import FaultPlan
+from repro.simulator.parallel import parallel_klru_mrc_with_report
+from repro.workloads.trace import Trace
+from repro.workloads.zipf import zipf_trace_keys
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+# ----------------------------------------------------------------------
+# module-level workers (must be picklable for the pool path)
+# ----------------------------------------------------------------------
+def _square(x: int) -> int:
+    return x * x
+
+
+def _square_flaky(args) -> int:
+    """Fails with a transient error until a latch file exists."""
+    x, state = args
+    latch = Path(state) / f"tick-{x}"
+    if not latch.exists():
+        latch.touch()
+        raise TransientTaskError(f"flaky {x}")
+    return x * x
+
+
+def _square_broken(x: int) -> int:
+    raise KeyError(f"deterministic bug for {x}")
+
+
+def _zipf_trace(n_objects=300, n_requests=5_000, seed=0):
+    return Trace(
+        zipf_trace_keys(n_objects, n_requests, 0.9, rng=seed), name="faults"
+    )
+
+
+@pytest.fixture
+def trace():
+    return _zipf_trace()
+
+
+@pytest.fixture
+def sweep():
+    return ModelSweep.grid(ks=[1, 4], sampling_rates=[None, 0.5], seed=5)
+
+
+# ----------------------------------------------------------------------
+class TestRunnerCore:
+    def test_serial_results_ordered(self):
+        runner = ResilientRunner(_square, max_workers=1)
+        results, report = runner.run([3, 1, 2])
+        assert results == [9, 1, 4]
+        assert report.mode == "serial"
+        assert report.completed == 3
+        assert report.attempts == 3
+
+    def test_pool_results_ordered(self):
+        runner = ResilientRunner(_square, max_workers=2, backoff=0)
+        results, report = runner.run([5, 6, 7, 8])
+        assert results == [25, 36, 49, 64]
+        assert report.mode == "pool"
+        assert report.pool_rebuilds == 0
+
+    def test_serial_transient_retry(self, tmp_path):
+        runner = ResilientRunner(_square_flaky, max_workers=1, retries=1,
+                                 backoff=0)
+        results, report = runner.run([(2, str(tmp_path)), (3, str(tmp_path))])
+        assert results == [4, 9]
+        assert report.retries == 2
+        assert report.attempts == 4
+
+    def test_retries_exhausted_raises(self, tmp_path):
+        runner = ResilientRunner(_square_flaky, max_workers=1, retries=0)
+        with pytest.raises(TaskFailedError) as exc_info:
+            runner.run([(2, str(tmp_path))])
+        assert exc_info.value.index == 0
+        assert isinstance(exc_info.value.cause, TransientTaskError)
+
+    def test_deterministic_error_fails_fast_in_pool(self):
+        runner = ResilientRunner(_square_broken, max_workers=2, retries=3,
+                                 backoff=0)
+        with pytest.raises(TaskFailedError) as exc_info:
+            runner.run([1, 2])
+        # A non-retryable exception must not burn the retry budget.
+        assert exc_info.value.attempts == 1
+
+    def test_completed_tasks_skipped(self):
+        runner = ResilientRunner(_square, max_workers=1)
+        results, report = runner.run([2, 3, 4], completed={1: 999})
+        assert results == [4, 999, 16]
+        assert report.from_checkpoint == 1
+        assert report.attempts == 2  # only the two uncompleted tasks ran
+        assert report.tasks[1].outcome == "from-checkpoint"
+
+    def test_per_task_wall_time_recorded(self):
+        runner = ResilientRunner(_square, max_workers=1)
+        _, report = runner.run([4])
+        assert report.tasks[0].wall_time >= 0.0
+        assert report.tasks[0].outcome == "ok"
+        assert report.wall_time > 0.0
+
+    def test_report_json_round_trip(self):
+        runner = ResilientRunner(_square, max_workers=1)
+        _, report = runner.run([1, 2])
+        decoded = json.loads(report.to_json())
+        assert decoded["total_tasks"] == 2
+        assert decoded["mode"] == "serial"
+        assert len(decoded["tasks"]) == 2
+
+
+# ----------------------------------------------------------------------
+class TestFaultPlanParsing:
+    def test_parse_clauses_and_state(self):
+        plan = FaultPlan.parse("crash-once@2;flaky@1:3;state=/tmp/x")
+        assert plan.state_dir == "/tmp/x"
+        assert len(plan.clauses) == 2
+        assert plan.clauses[0].mode == "crash-once"
+        assert plan.clauses[0].index == 2
+        assert plan.clauses[1].arg == 3.0
+
+    def test_bad_clause_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("explode@1")
+
+    def test_flaky_fires_limit_times(self, tmp_path):
+        plan = FaultPlan.parse(f"flaky@0:2;state={tmp_path}")
+        for _ in range(2):
+            with pytest.raises(TransientTaskError):
+                plan.fire(0)
+        plan.fire(0)  # third call: tickets exhausted, no fault
+        plan.fire(1)  # other indices never fire
+
+
+# ----------------------------------------------------------------------
+class TestSweepFaultRecovery:
+    def test_worker_crash_recovers_bit_identical(
+        self, trace, sweep, tmp_path, monkeypatch
+    ):
+        clean = sweep.run(trace, max_workers=1)
+        monkeypatch.setenv("REPRO_FAULTS", f"crash-once@1;state={tmp_path}")
+        results, report = sweep.run_with_report(
+            trace, max_workers=2, retries=2, backoff=0
+        )
+        assert report.pool_rebuilds >= 1
+        assert not report.degraded_to_serial
+        for a, b in zip(clean, results):
+            assert a.config == b.config
+            np.testing.assert_array_equal(a.sizes, b.sizes)
+            np.testing.assert_array_equal(a.miss_ratios, b.miss_ratios)
+            assert a.requests_sampled == b.requests_sampled
+
+    def test_timeout_fires_on_hung_worker(
+        self, trace, sweep, tmp_path, monkeypatch
+    ):
+        clean = sweep.run(trace, max_workers=1)
+        monkeypatch.setenv("REPRO_FAULTS", f"hang-once@0:60;state={tmp_path}")
+        results, report = sweep.run_with_report(
+            trace, max_workers=2, retries=2, backoff=0, task_timeout=1.5
+        )
+        assert report.timeouts >= 1
+        assert report.tasks[0].timeouts >= 1
+        for a, b in zip(clean, results):
+            np.testing.assert_array_equal(a.miss_ratios, b.miss_ratios)
+
+    def test_degrades_to_serial_when_pool_keeps_dying(
+        self, trace, sweep, monkeypatch
+    ):
+        clean = sweep.run(trace, max_workers=1)
+        monkeypatch.setenv("REPRO_FAULTS", "crash@0")  # crashes every attempt
+        with pytest.warns(RuntimeWarning, match="degrading"):
+            results, report = sweep.run_with_report(
+                trace, max_workers=2, retries=1, backoff=0, max_pool_rebuilds=1
+            )
+        assert report.degraded_to_serial
+        for a, b in zip(clean, results):
+            np.testing.assert_array_equal(a.miss_ratios, b.miss_ratios)
+
+    def test_transient_worker_failure_retried(
+        self, trace, sweep, tmp_path, monkeypatch
+    ):
+        clean = sweep.run(trace, max_workers=1)
+        monkeypatch.setenv("REPRO_FAULTS", f"flaky@0:2;state={tmp_path}")
+        results, report = sweep.run_with_report(
+            trace, max_workers=2, retries=3, backoff=0
+        )
+        assert report.retries >= 2
+        np.testing.assert_array_equal(
+            clean[0].miss_ratios, results[0].miss_ratios
+        )
+
+    def test_retry_budget_exhausted_raises(
+        self, trace, sweep, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", f"flaky@0:10;state={tmp_path}")
+        with pytest.raises(TaskFailedError):
+            sweep.run_with_report(trace, max_workers=1, retries=1, backoff=0)
+
+    def test_simulation_sweep_recovers_from_crash(
+        self, trace, tmp_path, monkeypatch
+    ):
+        clean, _ = parallel_klru_mrc_with_report(
+            trace, 3, n_points=4, rng=19, max_workers=1
+        )
+        monkeypatch.setenv("REPRO_FAULTS", f"crash-once@2;state={tmp_path}")
+        curve, report = parallel_klru_mrc_with_report(
+            trace, 3, n_points=4, rng=19, max_workers=2, retries=2, backoff=0
+        )
+        assert report.pool_rebuilds >= 1
+        np.testing.assert_array_equal(clean.sizes, curve.sizes)
+        np.testing.assert_array_equal(clean.miss_ratios, curve.miss_ratios)
+
+
+# ----------------------------------------------------------------------
+class TestCheckpointResume:
+    def test_resume_skips_completed_configs(
+        self, trace, tmp_path, monkeypatch
+    ):
+        sweep = ModelSweep.grid(ks=[1, 2, 4], seed=7)
+        clean = sweep.run(trace, max_workers=1)
+        ck = tmp_path / "sweep.ckpt"
+        # First run dies at grid position 2 after streaming rows 0 and 1.
+        monkeypatch.setenv("REPRO_FAULTS", f"flaky@2:10;state={tmp_path}")
+        with pytest.raises(TaskFailedError):
+            sweep.run_with_report(
+                trace, max_workers=1, retries=0, checkpoint=ck
+            )
+        monkeypatch.delenv("REPRO_FAULTS")
+        results, report = sweep.run_with_report(
+            trace, max_workers=1, checkpoint=ck
+        )
+        assert report.from_checkpoint == 2
+        assert report.attempts == 1  # only the remaining grid position ran
+        for a, b in zip(clean, results):
+            assert a.config == b.config
+            np.testing.assert_array_equal(a.sizes, b.sizes)
+            np.testing.assert_array_equal(a.miss_ratios, b.miss_ratios)
+
+    def test_finished_checkpoint_runs_nothing(self, trace, tmp_path):
+        sweep = ModelSweep.grid(ks=[1, 4], seed=3)
+        ck = tmp_path / "sweep.ckpt"
+        first = sweep.run(trace, max_workers=1, checkpoint=ck)
+        results, report = sweep.run_with_report(
+            trace, max_workers=1, checkpoint=ck
+        )
+        assert report.attempts == 0
+        assert report.from_checkpoint == len(sweep)
+        for a, b in zip(first, results):
+            np.testing.assert_array_equal(a.miss_ratios, b.miss_ratios)
+
+    def test_mismatched_checkpoint_rejected(self, trace, tmp_path):
+        ck = tmp_path / "sweep.ckpt"
+        ModelSweep.grid(ks=[1, 4], seed=3).run(
+            trace, max_workers=1, checkpoint=ck
+        )
+        other = ModelSweep.grid(ks=[1, 4], seed=99)  # different sweep seed
+        with pytest.raises(CheckpointMismatch):
+            other.run(trace, max_workers=1, checkpoint=ck)
+
+    def test_garbage_checkpoint_rejected(self, trace, tmp_path):
+        ck = tmp_path / "sweep.ckpt"
+        ck.write_text("not json at all\n")
+        with pytest.raises(CheckpointMismatch):
+            ModelSweep.grid(ks=[1], seed=3).run(
+                trace, max_workers=1, checkpoint=ck
+            )
+
+    def test_truncated_tail_row_ignored(self, trace, tmp_path):
+        sweep = ModelSweep.grid(ks=[1, 4], seed=3)
+        ck = tmp_path / "sweep.ckpt"
+        sweep.run(trace, max_workers=1, checkpoint=ck)
+        # Simulate a crash mid-write: chop the last row in half.
+        text = ck.read_text()
+        ck.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+        results, report = sweep.run_with_report(
+            trace, max_workers=1, checkpoint=ck
+        )
+        assert report.from_checkpoint == 1  # intact row kept, torn row redone
+        assert report.attempts == 1
+        clean = sweep.run(trace, max_workers=1)
+        for a, b in zip(clean, results):
+            np.testing.assert_array_equal(a.miss_ratios, b.miss_ratios)
+
+
+# ----------------------------------------------------------------------
+class TestSharedMemoryCleanup:
+    CREATE_AND_WAIT = (
+        "import sys, time\n"
+        "sys.path.insert(0, {src!r})\n"
+        "import numpy as np\n"
+        "from repro.engine.shm import SharedTraceStore\n"
+        "from repro.workloads.trace import Trace\n"
+        "store = SharedTraceStore(Trace(np.arange(500), name='victim'))\n"
+        "print(store.spec.shm_name, flush=True)\n"
+        "{tail}\n"
+    )
+
+    def _segment_path(self, name: str) -> Path:
+        return Path("/dev/shm") / name
+
+    @pytest.mark.skipif(
+        not Path("/dev/shm").is_dir(), reason="needs POSIX /dev/shm"
+    )
+    def test_sigterm_unlinks_segment(self):
+        script = self.CREATE_AND_WAIT.format(src=SRC, tail="time.sleep(60)")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            name = proc.stdout.readline().strip()
+            assert self._segment_path(name).exists()
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=20)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - safety net
+                proc.kill()
+        assert rc == -signal.SIGTERM  # kill-by-SIGTERM semantics preserved
+        deadline = time.monotonic() + 5
+        while self._segment_path(name).exists():
+            assert time.monotonic() < deadline, "segment leaked after SIGTERM"
+            time.sleep(0.05)
+
+    @pytest.mark.skipif(
+        not Path("/dev/shm").is_dir(), reason="needs POSIX /dev/shm"
+    )
+    def test_exit_without_close_unlinks_segment(self):
+        script = self.CREATE_AND_WAIT.format(src=SRC, tail="")
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        name = out.stdout.strip().splitlines()[0]
+        assert not self._segment_path(name).exists()
+
+
+# ----------------------------------------------------------------------
+class TestSweepCLIFaultFlags:
+    def test_checkpoint_report_flags(self, trace, tmp_path):
+        from repro.cli import main
+        from repro.workloads import io
+
+        trace_path = tmp_path / "t.csv"
+        io.save_csv(trace, trace_path)
+        ck = tmp_path / "sweep.ckpt"
+        report_path = tmp_path / "report.json"
+        out = tmp_path / "grid.csv"
+        argv = [
+            "sweep", str(trace_path), "--ks", "1,4", "--workers", "1",
+            "--seed", "3", "--checkpoint", str(ck), "--task-timeout", "300",
+            "--retries", "3", "--report", str(report_path), "-o", str(out),
+        ]
+        assert main(argv) == 0
+        first = json.loads(report_path.read_text())
+        assert first["total_tasks"] == 2
+        assert first["from_checkpoint"] == 0
+        first_grid = out.read_text()
+
+        # Second invocation resumes everything from the checkpoint.
+        assert main(argv) == 0
+        second = json.loads(report_path.read_text())
+        assert second["from_checkpoint"] == 2
+        assert second["attempts"] == 0
+        assert out.read_text() == first_grid

@@ -54,6 +54,46 @@ def test_csv_empty_file(tmp_path):
     assert len(load_csv(path)) == 0
 
 
+def test_csv_lenient_skips_malformed_rows(tmp_path):
+    path = tmp_path / "dirty.csv"
+    path.write_text(
+        "key,size,op\n"
+        "1,100,get\n"
+        "oops,100,get\n"      # non-integer key
+        "2\n"                  # short row (no size column)
+        "3,0,get\n"            # size < 1
+        "4,100,teleport\n"     # unknown op name
+        "5,100,set\n"
+    )
+    t = load_csv(path, errors="skip")
+    assert list(t.keys) == [1, 5]
+    assert t.skipped_rows == 4
+
+
+def test_csv_strict_raises_on_first_dirty_row(tmp_path):
+    path = tmp_path / "dirty.csv"
+    path.write_text("key,size,op\n1,100,get\noops,100,get\n")
+    with pytest.raises(ValueError):
+        load_csv(path)  # errors="strict" is the default
+    t = load_csv(path, errors="skip")
+    assert list(t.keys) == [1]
+    assert t.skipped_rows == 1
+
+
+def test_csv_clean_file_reports_zero_skipped(tmp_path, mixed_trace):
+    path = tmp_path / "clean.csv"
+    save_csv(mixed_trace, path)
+    assert load_csv(path, errors="skip").skipped_rows == 0
+    assert load_csv(path).skipped_rows == 0
+
+
+def test_csv_bad_errors_mode_rejected(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("key\n1\n")
+    with pytest.raises(ValueError):
+        load_csv(path, errors="ignore")
+
+
 def test_npz_round_trip(tmp_path, mixed_trace):
     path = tmp_path / "t.npz"
     save_npz(mixed_trace, path)
@@ -62,3 +102,20 @@ def test_npz_round_trip(tmp_path, mixed_trace):
     np.testing.assert_array_equal(back.sizes, mixed_trace.sizes)
     np.testing.assert_array_equal(back.ops, mixed_trace.ops)
     assert back.name == "mixed"
+
+
+def test_npz_round_trip_without_suffix(tmp_path, mixed_trace):
+    # numpy appends ".npz" on save; load must find the file either way.
+    save_npz(mixed_trace, tmp_path / "foo")
+    assert (tmp_path / "foo.npz").exists()
+    for spec in (tmp_path / "foo", tmp_path / "foo.npz"):
+        back = load_npz(spec)
+        np.testing.assert_array_equal(back.keys, mixed_trace.keys)
+
+
+def test_npz_dotted_name_keeps_own_suffix(tmp_path, mixed_trace):
+    # A non-.npz suffix gets ".npz" appended, mirroring numpy's behavior.
+    save_npz(mixed_trace, tmp_path / "trace.v2")
+    assert (tmp_path / "trace.v2.npz").exists()
+    back = load_npz(tmp_path / "trace.v2")
+    np.testing.assert_array_equal(back.sizes, mixed_trace.sizes)
