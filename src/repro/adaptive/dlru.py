@@ -24,6 +24,13 @@ from ..core.model import KRRModel
 from ..simulator.base import CacheStats
 from ..simulator.klru import KLRUCache
 
+__all__ = [
+    "AdaptiveKLRUCache",
+    "DEFAULT_CANDIDATES",
+    "RetuneEvent",
+]
+
+
 DEFAULT_CANDIDATES = (1, 2, 4, 8, 16)
 
 

@@ -19,6 +19,14 @@ from ..stack.lru_stack import lru_histograms
 from ..mrc.builder import from_distance_histogram
 from ..workloads.trace import Trace
 
+__all__ = [
+    "Classification",
+    "DEFAULT_THRESHOLD",
+    "classify_curves",
+    "classify_trace",
+]
+
+
 #: Average-gap threshold separating the families.  The paper does not give a
 #: number; 0.045 (4.5 miss-ratio points averaged over the size range) cleanly
 #: separates scan/loop-dominated traces (gaps >= 0.06 in our suites) from

@@ -16,6 +16,13 @@ from ..mrc.builder import from_points
 from ..mrc.curve import MissRatioCurve
 from ..workloads.trace import Trace, reuse_times
 
+__all__ = [
+    "average_footprint",
+    "hotl_mrc",
+    "working_set_curve",
+]
+
+
 
 def average_footprint(trace: Trace) -> np.ndarray:
     """Exact average footprint ``fp(w)`` for ``w = 0..N``.

@@ -14,6 +14,12 @@ import numpy as np
 
 from ..mrc.curve import MissRatioCurve
 
+__all__ = [
+    "ascii_plot",
+    "sparkline",
+]
+
+
 #: Glyphs used for successive curves in one chart.
 _MARKERS = "*o+x#@%&"
 

@@ -9,6 +9,13 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+__all__ = [
+    "format_cell",
+    "render_series",
+    "render_table",
+]
+
+
 
 def format_cell(value, width: int = 10) -> str:
     if isinstance(value, float):

@@ -19,6 +19,12 @@ from ..mrc.builder import from_points
 from ..mrc.curve import MissRatioCurve
 from ..workloads.trace import Trace, reuse_times
 
+__all__ = [
+    "AETModel",
+    "aet_mrc",
+]
+
+
 
 class AETModel:
     """AET MRC model built from a trace's reuse-time distribution."""

@@ -26,6 +26,12 @@ from ..stack.histogram import DistanceHistogram
 from ..workloads.trace import Trace
 from .hll import HyperLogLog
 
+__all__ = [
+    "CounterStacks",
+    "counterstacks_mrc",
+]
+
+
 
 @dataclass
 class _Counter:

@@ -15,6 +15,11 @@ import numpy as np
 
 from ..sampling.hashing import splitmix64
 
+__all__ = [
+    "HyperLogLog",
+]
+
+
 
 def _alpha(m: int) -> float:
     if m == 16:

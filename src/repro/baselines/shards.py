@@ -25,6 +25,13 @@ from ..stack.histogram import ByteDistanceHistogram, DistanceHistogram
 from ..stack.lru_stack import TreeLRUStack
 from ..workloads.trace import Trace
 
+__all__ = [
+    "FixedSizeShards",
+    "Shards",
+    "shards_mrc",
+]
+
+
 
 class Shards:
     """Streaming SHARDS estimator (fixed-rate mode).

@@ -22,6 +22,12 @@ from ..mrc.curve import MissRatioCurve
 from ..stack.histogram import DistanceHistogram
 from ..workloads.trace import Trace, reuse_times
 
+__all__ = [
+    "StatStackModel",
+    "statstack_mrc",
+]
+
+
 
 class StatStackModel:
     """Expected-stack-distance LRU model from the reuse-time histogram."""

@@ -11,6 +11,7 @@ Usage (also via ``python -m repro``):
     repro simulate trace.csv --policy lru --k 5 --points 10
     repro compare trace.csv --k 5 --points 8
     repro classify trace.csv
+    repro lint src benchmarks examples --severity error --format json
 """
 
 from __future__ import annotations
@@ -230,6 +231,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0 if mae < args.fail_above else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools import lint as reprolint
+
+    return reprolint.main(args.lint_args)
+
+
 def cmd_classify(args: argparse.Namespace) -> int:
     from .analysis.classify import classify_trace
 
@@ -340,6 +347,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit nonzero if MAE exceeds this")
     c.set_defaults(func=cmd_compare)
 
+    ln = sub.add_parser(
+        "lint",
+        help="reprolint: determinism & shm-safety static analysis",
+        add_help=False,
+    )
+    # All arguments pass straight through to repro.devtools.lint.main so the
+    # standalone `python -m repro.devtools.lint` and `repro lint` stay one tool.
+    ln.add_argument("lint_args", nargs=argparse.REMAINDER)
+    ln.set_defaults(func=cmd_lint)
+
     cl = sub.add_parser("classify", help="Type A/B (K-sensitivity) classification")
     cl.add_argument("trace")
     cl.add_argument("--seed", type=int, default=0)
@@ -349,6 +366,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # argparse.REMAINDER refuses option-like tokens before the first
+    # positional ("repro lint --list-rules"), so lint dispatches directly.
+    if argv[:1] == ["lint"]:
+        from .devtools import lint as reprolint
+
+        return reprolint.main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -9,6 +9,13 @@ The exponent is exposed so the ablation bench can sweep it.
 
 from __future__ import annotations
 
+__all__ = [
+    "DEFAULT_EXPONENT",
+    "corrected_k",
+    "uncorrected_k",
+]
+
+
 #: The paper's empirically chosen correction exponent.
 DEFAULT_EXPONENT = 1.4
 

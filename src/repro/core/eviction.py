@@ -17,13 +17,36 @@ swap-position count of Corollary 1.
 from __future__ import annotations
 
 import math
+from typing import Union
 
 import numpy as np
+import numpy.typing as npt
 
 from .._util import check_positive, check_sampling_size
 
+#: Scalar-or-array input accepted by the vectorized closed forms.
+RankLike = Union[int, float, "npt.ArrayLike"]
+#: Scalar-or-array output: 0-d inputs come back as NumPy scalars.
+FloatOrArray = Union[float, "np.floating", "npt.NDArray[np.float64]"]
 
-def eviction_prob_with_replacement(d, cache_size: int, k: int):
+__all__ = [
+    "eviction_cdf",
+    "eviction_prob_with_replacement",
+    "eviction_prob_without_replacement",
+    "expected_swap_positions",
+    "expected_swap_positions_bound",
+    "inverse_eviction_cdf",
+    "krr_eviction_prob",
+    "no_swap_probability_interval",
+    "stay_probability",
+    "swap_probability",
+]
+
+
+
+def eviction_prob_with_replacement(
+    d: RankLike, cache_size: int, k: int
+) -> FloatOrArray:
     """Proposition 1: eviction probability of rank ``d`` (1-based, 1 = safest).
 
     Accepts a scalar or array ``d``; vectorized.  Uses float exponentiation
@@ -38,7 +61,9 @@ def eviction_prob_with_replacement(d, cache_size: int, k: int):
     return (d_arr / c) ** k - ((d_arr - 1) / c) ** k
 
 
-def eviction_prob_without_replacement(d, cache_size: int, k: int):
+def eviction_prob_without_replacement(
+    d: RankLike, cache_size: int, k: int
+) -> FloatOrArray:
     """Proposition 2: eviction probability of rank ``d`` without placing back.
 
     Zero for ``d < K`` (the K-1 lower-ranked must all be sampled alongside).
@@ -67,7 +92,7 @@ def _log_comb(n: int, r: int) -> float:
     return math.lgamma(n + 1) - math.lgamma(r + 1) - math.lgamma(n - r + 1)
 
 
-def stay_probability(i, k: float):
+def stay_probability(i: RankLike, k: float) -> FloatOrArray:
     """KRR survival probability of the position-``i`` resident: ``((i-1)/i)^K``.
 
     Under Assumption 1 the object at stack position ``i`` has rank ``i`` in a
@@ -83,7 +108,7 @@ def stay_probability(i, k: float):
     return ((i_arr - 1) / i_arr) ** k
 
 
-def swap_probability(i, k: float):
+def swap_probability(i: RankLike, k: float) -> FloatOrArray:
     """Probability that position ``i`` is a swap position: ``1 - ((i-1)/i)^K``."""
     return 1.0 - stay_probability(i, k)
 
@@ -102,14 +127,16 @@ def no_swap_probability_interval(start: int, end: int, k: float) -> float:
     return ((start - 1) / end) ** k
 
 
-def eviction_cdf(i, cache_size: int, k: float):
+def eviction_cdf(i: RankLike, cache_size: int, k: float) -> FloatOrArray:
     """CDF of the evicted rank under KRR: ``P(X <= i) = (i/C)^K`` (§4.3.2)."""
     check_positive("cache_size", cache_size)
     i_arr = np.asarray(i, dtype=np.float64)
     return (i_arr / cache_size) ** k
 
 
-def inverse_eviction_cdf(u, cache_size: int, k: float):
+def inverse_eviction_cdf(
+    u: RankLike, cache_size: int, k: float
+) -> Union[np.int64, npt.NDArray[np.int64]]:
     """Inverse CDF draw: rank ``ceil(u^(1/K) * C)`` for uniform ``u`` in (0,1].
 
     This is the backward update's core step with ``C = i - 1``.  Vectorized;
@@ -150,7 +177,9 @@ def expected_swap_positions_bound(phi: int, k: float) -> float:
     return 1.0 + k * math.log(phi - 1)
 
 
-def krr_eviction_prob(i, cache_size: int, k: float):
+def krr_eviction_prob(
+    i: RankLike, cache_size: int, k: float
+) -> FloatOrArray:
     """Equation 4.2: eviction probability of the position-``i`` object.
 
     The telescoping product over positions ``i..C`` collapses to exactly the

@@ -23,6 +23,11 @@ from ..workloads.trace import Trace
 from .correction import DEFAULT_EXPONENT, corrected_k
 from .krr import KRRStack
 
+__all__ = [
+    "FixedSizeKRRModel",
+]
+
+
 
 class FixedSizeKRRModel:
     """One-pass K-LRU MRC model with an O(s_max) memory bound.

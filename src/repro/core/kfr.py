@@ -31,13 +31,23 @@ skewed workloads, a few~1e-2 on adversarial ones — rougher than KRR's
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List
 
 import numpy as np
 
 from .._util import RngLike, check_sampling_size, ensure_rng
 from ..stack.fenwick import FenwickTree
 from ..stack.histogram import DistanceHistogram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..mrc.curve import MissRatioCurve
+    from ..workloads.trace import Trace
+
+__all__ = [
+    "KFRModel",
+    "KFRStack",
+]
+
 
 
 class _FrequencyRanks:
@@ -206,12 +216,12 @@ class KFRModel:
         dist = result[0] if isinstance(result, tuple) else result
         self._hist.record(dist if dist > 0 else 0)
 
-    def process(self, trace) -> "KFRModel":
+    def process(self, trace: "Trace") -> "KFRModel":
         for key in trace.keys:
             self.access(int(key))
         return self
 
-    def mrc(self, max_size: int | None = None):
+    def mrc(self, max_size: int | None = None) -> "MissRatioCurve":
         from ..mrc.builder import from_distance_histogram
 
         return from_distance_histogram(

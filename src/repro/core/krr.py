@@ -14,13 +14,18 @@ object-level ones (var-KRR, §4.4.1).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 import numpy as np
 
 from .._util import RngLike, ensure_rng
 from .sizearray import SizeArray
 from .updates import UpdateStrategy, apply_swaps, make_strategy
+
+__all__ = [
+    "KRRStack",
+]
+
 
 
 class KRRStack:
@@ -261,7 +266,7 @@ class KRRStack:
         if self._size_array is not None:
             self._size_array.rebuild(self.sizes_in_stack_order())
 
-    def remove_many(self, keys) -> None:
+    def remove_many(self, keys: Iterable[int]) -> None:
         """Remove a batch of objects in one ``O(M)`` pass.
 
         Used by TTL purging (many expirations at once): rebuilding the

@@ -38,6 +38,14 @@ from ..workloads.trace import Trace
 from .correction import DEFAULT_EXPONENT, corrected_k
 from .krr import KRRStack
 
+__all__ = [
+    "KRRModel",
+    "KRRResult",
+    "ModelStats",
+    "model_trace",
+]
+
+
 
 @dataclass
 class ModelStats:
@@ -253,7 +261,7 @@ def model_trace(
     strategy: str = "backward",
     track_sizes: Optional[bool] = None,
     seed: RngLike = None,
-    **kwargs,
+    **kwargs: object,
 ) -> KRRResult:
     """Convenience: model one trace and return the result.
 

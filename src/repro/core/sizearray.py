@@ -22,6 +22,11 @@ from typing import List, Sequence
 
 import numpy as np
 
+__all__ = [
+    "SizeArray",
+]
+
+
 
 class SizeArray:
     """Base-``b`` prefix byte sums over a KRR stack.

@@ -35,6 +35,11 @@ from ..workloads.trace import Trace
 from .correction import DEFAULT_EXPONENT, corrected_k
 from .krr import KRRStack
 
+__all__ = [
+    "TTLAwareKRRModel",
+]
+
+
 
 class TTLAwareKRRModel:
     """One-pass MRC model for a K-LRU cache with per-object TTLs.

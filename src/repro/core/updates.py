@@ -26,6 +26,16 @@ import numpy as np
 
 from .._util import RngLike, ensure_rng
 
+__all__ = [
+    "BackwardUpdate",
+    "LinearUpdate",
+    "TopDownUpdate",
+    "UpdateStrategy",
+    "apply_swaps",
+    "make_strategy",
+]
+
+
 
 class _BufferedUniform:
     """Amortized scalar uniforms from a NumPy generator.

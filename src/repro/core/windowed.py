@@ -18,6 +18,11 @@ from ..mrc.curve import MissRatioCurve
 from ..workloads.trace import Trace
 from .model import KRRModel
 
+__all__ = [
+    "WindowedKRRModel",
+]
+
+
 
 class WindowedKRRModel:
     """K-LRU MRC over a sliding window of the most recent requests.

@@ -1,0 +1,30 @@
+"""Developer tooling that enforces the reproduction's invariants.
+
+Currently one tool: :mod:`repro.devtools.lint` ("reprolint"), an AST-based
+static analyzer with repo-specific rules — seeded-randomness plumbing
+(RNG-001/002), shared-memory lifecycle safety (SHM-001), model-path
+determinism (DET-001) and Python hygiene (PY-001/002).  Run it as
+``repro lint`` or ``python -m repro.devtools.lint``; it gates CI.
+"""
+
+from .lint import (
+    RULES,
+    SEVERITIES,
+    Finding,
+    Rule,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "Rule",
+    "SEVERITIES",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

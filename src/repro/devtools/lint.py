@@ -1,0 +1,897 @@
+"""reprolint — AST-based determinism & shm-safety analyzer for this repo.
+
+The reproduction's headline guarantees rest on conventions that no general
+linter knows about: KRR is statistically equivalent to K-LRU only under
+correctly *seeded* randomness, sweep recovery is bit-identical only when
+every draw is derived from the one blessed RNG entry point
+(:func:`repro._util.ensure_rng`), and shared-memory segments survive crash
+paths only when their creators register with the cleanup registry in
+:mod:`repro.engine.shm`.  ``reprolint`` machine-enforces those invariants
+with repo-specific AST checks.
+
+Rule catalog (see ``docs/LINTING.md`` for the full rationale):
+
+========  ========  ==========================================================
+id        severity  what it flags
+========  ========  ==========================================================
+RNG-001   error     unseeded ``np.random.default_rng()`` or legacy module-
+                    level ``np.random.<dist>()`` calls in library code
+RNG-002   error     randomness plumbed around ``ensure_rng``: a function with
+                    an ``rng``/``seed`` parameter calling
+                    ``np.random.default_rng`` directly; ``random.Random(...)``
+                    seeded by anything other than an ``ensure_rng`` draw; a
+                    public function constructing randomness with no
+                    ``rng``/``seed`` parameter at all
+SHM-001   error     ``SharedMemory(create=True)`` in a scope with no cleanup-
+                    registry registration; ``.unlink()`` in a scope with no
+                    owner-PID guard
+DET-001   error     wall-clock / OS-entropy reads (``time.time``,
+                    ``datetime.now``, ``os.urandom`` ...) inside model paths
+                    (``core/``, ``stack/``, ``simulator/``)
+PY-001    error     mutable default arguments
+PY-002    warning   ``__all__`` drift: a name re-exported by a package
+                    ``__init__`` missing from the source module's ``__all__``
+========  ========  ==========================================================
+
+Any finding can be suppressed in place with a trailing comment::
+
+    foo = np.random.default_rng()  # repro: allow[RNG-001]: CLI entropy is fine
+
+The comment must name the rule id (several may be comma-separated) and
+should carry a reason after the colon.  ``--baseline`` freezes a set of
+pre-existing findings so only *new* violations gate CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "RULES",
+    "SEVERITIES",
+    "Finding",
+    "Rule",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "main",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]
+
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+
+#: Severity names in increasing order of badness.
+SEVERITIES: Tuple[str, ...] = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A reprolint rule: stable id, severity, and a fix hint shown inline."""
+
+    id: str
+    severity: str
+    summary: str
+    fix_hint: str
+
+
+RULES: Dict[str, Rule] = {
+    r.id: r
+    for r in (
+        Rule(
+            "RNG-001",
+            "error",
+            "unseeded or legacy global NumPy randomness in library code",
+            "thread an `rng` argument through repro._util.ensure_rng instead",
+        ),
+        Rule(
+            "RNG-002",
+            "error",
+            "randomness constructed outside the ensure_rng entry point",
+            "accept `rng` and normalize it with ensure_rng(rng); seed "
+            "random.Random from int(ensure_rng(rng).integers(...))",
+        ),
+        Rule(
+            "SHM-001",
+            "error",
+            "shared-memory segment lifecycle outside the cleanup contract",
+            "register created segments with the cleanup registry and guard "
+            "unlink() behind an owner-PID check",
+        ),
+        Rule(
+            "DET-001",
+            "error",
+            "wall clock or OS entropy inside a model path",
+            "model code must be a pure function of the trace and the seed; "
+            "pass timestamps/randomness in from the caller",
+        ),
+        Rule(
+            "PY-001",
+            "error",
+            "mutable default argument",
+            "default to None and construct the container inside the function",
+        ),
+        Rule(
+            "PY-002",
+            "warning",
+            "__all__ drift between a module and a package re-export",
+            "add the name to the module's __all__ (or stop re-exporting it)",
+        ),
+    )
+}
+
+_SEVERITY_RANK = {name: i for i, name in enumerate(SEVERITIES)}
+
+#: Path components that mark deterministic "model path" code for DET-001.
+DEFAULT_MODEL_DIRS: Tuple[str, ...] = ("core", "stack", "simulator")
+
+#: Legacy module-level numpy.random distribution/seeding functions (RNG-001).
+_NP_LEGACY_FNS = frozenset(
+    {
+        "seed", "random", "rand", "randn", "randint", "random_integers",
+        "random_sample", "ranf", "sample", "choice", "bytes", "shuffle",
+        "permutation", "beta", "binomial", "chisquare", "dirichlet",
+        "exponential", "gamma", "geometric", "gumbel", "hypergeometric",
+        "laplace", "logistic", "lognormal", "logseries", "multinomial",
+        "multivariate_normal", "negative_binomial", "noncentral_chisquare",
+        "noncentral_f", "normal", "pareto", "poisson", "power", "rayleigh",
+        "standard_cauchy", "standard_exponential", "standard_gamma",
+        "standard_normal", "standard_t", "triangular", "uniform", "vonmises",
+        "wald", "weibull", "zipf",
+    }
+)
+
+#: Wall-clock / OS-entropy call targets banned from model paths (DET-001).
+_NONDETERMINISTIC_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbits",
+    }
+)
+
+#: Call names that count as "registering with the cleanup registry" (SHM-001).
+_SHM_REGISTRATION_NAMES = frozenset({"add", "register", "_install_cleanup_handlers"})
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_\-*,\s]+)\]")
+
+
+# ----------------------------------------------------------------------
+# Findings
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation anchored at ``path:line:col``."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    fix_hint: str
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselines: survives pure line-number drift."""
+        basis = f"{self.path}|{self.rule}|{self.snippet.strip()}"
+        return hashlib.sha1(basis.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids suppressed by ``# repro: allow[...]``."""
+    allowed: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _ALLOW_RE.search(line)
+        if m:
+            rules = {tok.strip() for tok in m.group(1).split(",") if tok.strip()}
+            allowed.setdefault(lineno, set()).update(rules)
+    return allowed
+
+
+# ----------------------------------------------------------------------
+# Per-file AST analysis
+# ----------------------------------------------------------------------
+
+
+class _ImportTracker:
+    """Resolve local names to canonical dotted module paths.
+
+    ``import numpy as np`` makes ``np.random.default_rng`` resolve to
+    ``numpy.random.default_rng``; ``from multiprocessing.shared_memory
+    import SharedMemory as SM`` makes ``SM`` resolve to
+    ``multiprocessing.shared_memory.SharedMemory``.
+    """
+
+    def __init__(self) -> None:
+        self._aliases: Dict[str, str] = {}
+
+    def visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                full = alias.name if alias.asname else alias.name.split(".")[0]
+                self._aliases[local] = full
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def qualname(self, func: ast.expr) -> str:
+        """Dotted name of a call target with its root import-expanded."""
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(self._aliases.get(node.id, node.id))
+        else:
+            return ""
+        return ".".join(reversed(parts))
+
+
+def _contains_call_to(node: ast.AST, name: str) -> bool:
+    """True if any call to a function whose (last) name is ``name`` occurs."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            target = sub.func
+            if isinstance(target, ast.Name) and target.id == name:
+                return True
+            if isinstance(target, ast.Attribute) and target.attr == name:
+                return True
+    return False
+
+
+def _line_of(source_lines: Sequence[str], lineno: int) -> str:
+    if 1 <= lineno <= len(source_lines):
+        return source_lines[lineno - 1]
+    return ""
+
+
+class _FileChecker(ast.NodeVisitor):
+    """Single-pass checker for every intra-file rule."""
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        *,
+        model_dirs: Sequence[str] = DEFAULT_MODEL_DIRS,
+    ) -> None:
+        self.path = path
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.imports = _ImportTracker()
+        self.findings: List[Finding] = []
+        parts = set(Path(path).parts)
+        self.in_model_path = bool(parts.intersection(model_dirs))
+        # Stack of enclosing function definitions (innermost last).
+        self._func_stack: List[ast.AST] = []
+
+    # -- plumbing ------------------------------------------------------
+
+    def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+        rule = RULES[rule_id]
+        lineno = getattr(node, "lineno", 1)
+        self.findings.append(
+            Finding(
+                rule=rule_id,
+                severity=rule.severity,
+                path=self.path,
+                line=lineno,
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+                fix_hint=rule.fix_hint,
+                snippet=_line_of(self.lines, lineno).strip(),
+            )
+        )
+
+    def run(self) -> List[Finding]:
+        self.visit(self.tree)
+        return self.findings
+
+    # -- visitors ------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.visit(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.visit(node)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+
+    def _check_function(self, node: ast.AST) -> None:
+        self._check_mutable_defaults(node)
+        self._func_stack.append(node)
+        self.generic_visit(node)
+        self._func_stack.pop()
+        if not self._func_stack:
+            # Scope-level rules run once per outermost function.
+            self._check_rng_plumbing(node)
+            self._check_shm_scope(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qual = self.imports.qualname(node.func)
+        self._check_rng_001(node, qual)
+        self._check_det_001(node, qual)
+        self.generic_visit(node)
+
+    # -- RNG-001: unseeded / legacy global numpy randomness ------------
+
+    def _check_rng_001(self, node: ast.Call, qual: str) -> None:
+        if qual in ("numpy.random.default_rng", "numpy.random.Generator.default_rng"):
+            unseeded = not node.args and not node.keywords
+            explicit_none = bool(
+                node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            )
+            if unseeded or explicit_none:
+                self._emit(
+                    "RNG-001",
+                    node,
+                    "unseeded np.random.default_rng() in library code: every "
+                    "draw must trace back to a caller-controlled seed",
+                )
+        elif qual.startswith("numpy.random."):
+            leaf = qual.rsplit(".", 1)[1]
+            if leaf in _NP_LEGACY_FNS:
+                self._emit(
+                    "RNG-001",
+                    node,
+                    f"legacy module-level np.random.{leaf}() draws from the "
+                    "hidden global RandomState",
+                )
+
+    # -- DET-001: wall clock / OS entropy in model paths ---------------
+
+    def _check_det_001(self, node: ast.Call, qual: str) -> None:
+        if not self.in_model_path:
+            return
+        hit = qual in _NONDETERMINISTIC_CALLS
+        if not hit and qual:
+            # `from datetime import datetime; datetime.now()` resolves to
+            # "datetime.datetime.now" via the tracker, but a bare
+            # `datetime.now()` after `import datetime` needs the suffix check.
+            hit = any(qual == full.split(".", 1)[1] for full in _NONDETERMINISTIC_CALLS if "." in full)
+        if hit:
+            self._emit(
+                "DET-001",
+                node,
+                f"{qual}() inside a model path breaks replayability: results "
+                "must be a pure function of (trace, seed)",
+            )
+
+    # -- RNG-002: bypassing ensure_rng ---------------------------------
+
+    def _check_rng_plumbing(self, func: ast.AST) -> None:
+        """Scope-level randomness-plumbing checks on an outermost function.
+
+        Nested functions are inspected as part of their outermost parent so
+        closures over an ``rng`` parameter don't misfire.
+        """
+        name = getattr(func, "name", "")
+        if name == "ensure_rng":
+            return  # the one blessed constructor
+        params = self._param_names(func)
+        # Closures may thread rng through a nested def; count those params too.
+        for sub in ast.walk(func):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                params.update(self._param_names(sub))
+        has_rng_param = bool(params.intersection({"rng", "seed", "random_state"}))
+        is_public = not name.startswith("_")
+
+        for sub in ast.walk(func):
+            if not isinstance(sub, ast.Call):
+                continue
+            qual = self.imports.qualname(sub.func)
+            if qual == "numpy.random.default_rng" and has_rng_param:
+                seeded_ok = bool(sub.args or sub.keywords)
+                self._emit(
+                    "RNG-002",
+                    sub,
+                    f"{name}() takes an rng/seed parameter but calls "
+                    "np.random.default_rng directly"
+                    + (" (seeded, but still bypasses the entry point)" if seeded_ok else ""),
+                )
+            elif qual == "random.Random":
+                arg_ok = bool(sub.args) and _contains_call_to(sub.args[0], "ensure_rng")
+                if not arg_ok:
+                    self._emit(
+                        "RNG-002",
+                        sub,
+                        "random.Random seeded outside ensure_rng; use "
+                        "random.Random(int(ensure_rng(rng).integers(0, 2**63)))",
+                    )
+            elif (
+                qual == "repro._util.ensure_rng"
+                or (isinstance(sub.func, ast.Name) and sub.func.id == "ensure_rng")
+            ):
+                if is_public and not has_rng_param and not self._feeds_from_state(sub):
+                    self._emit(
+                        "RNG-002",
+                        sub,
+                        f"public function {name}() draws randomness but takes "
+                        "no rng/seed parameter: callers cannot reproduce it",
+                    )
+
+    @staticmethod
+    def _param_names(func: ast.AST) -> Set[str]:
+        args = getattr(func, "args", None)
+        if args is None:
+            return set()
+        names = {a.arg for a in args.args}
+        names.update(a.arg for a in args.kwonlyargs)
+        names.update(a.arg for a in args.posonlyargs)
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+        return names
+
+    @staticmethod
+    def _feeds_from_state(call: ast.Call) -> bool:
+        """True if the call's arguments read held state (``self._rng`` etc.)."""
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Attribute):
+                    return True
+        return False
+
+    # -- SHM-001: segment lifecycle ------------------------------------
+
+    def _check_shm_scope(self, func: ast.AST) -> None:
+        creates: List[ast.Call] = []
+        unlinks: List[ast.Call] = []
+        registered = False
+        pid_guarded = False
+        for sub in ast.walk(func):
+            if isinstance(sub, ast.Call):
+                qual = self.imports.qualname(sub.func)
+                leaf = qual.rsplit(".", 1)[-1] if qual else ""
+                if leaf == "SharedMemory" and any(
+                    kw.arg == "create"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in sub.keywords
+                ):
+                    creates.append(sub)
+                elif (
+                    isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "unlink"
+                    and self._is_shm_receiver(sub.func.value)
+                ):
+                    # Only segment-looking receivers: Path.unlink() is not ours.
+                    unlinks.append(sub)
+                elif leaf in _SHM_REGISTRATION_NAMES:
+                    registered = True
+            if isinstance(sub, ast.Compare):
+                if self._mentions_pid(sub):
+                    pid_guarded = True
+        for call in creates:
+            if not registered:
+                self._emit(
+                    "SHM-001",
+                    call,
+                    "SharedMemory(create=True) without registering the segment "
+                    "in a cleanup registry: a crash here leaks /dev/shm until "
+                    "reboot",
+                )
+        for call in unlinks:
+            if not pid_guarded:
+                self._emit(
+                    "SHM-001",
+                    call,
+                    "unlink() without an owner-PID guard: a forked worker "
+                    "inheriting this object would destroy the parent's live "
+                    "segment",
+                )
+
+    @staticmethod
+    def _is_shm_receiver(node: ast.expr) -> bool:
+        """Identifier chain smells like a shared-memory segment handle."""
+        for sub in ast.walk(node):
+            ident = ""
+            if isinstance(sub, ast.Attribute):
+                ident = sub.attr
+            elif isinstance(sub, ast.Name):
+                ident = sub.id
+            if any(tok in ident.lower() for tok in ("shm", "segment", "shared")):
+                return True
+        return False
+
+    @staticmethod
+    def _mentions_pid(node: ast.Compare) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                target = sub.func
+                leaf = (
+                    target.attr
+                    if isinstance(target, ast.Attribute)
+                    else target.id if isinstance(target, ast.Name) else ""
+                )
+                if leaf == "getpid":
+                    return True
+            if isinstance(sub, (ast.Attribute, ast.Name)):
+                ident = sub.attr if isinstance(sub, ast.Attribute) else sub.id
+                if "pid" in ident.lower():
+                    return True
+        return False
+
+    # -- PY-001: mutable defaults --------------------------------------
+
+    def _check_mutable_defaults(self, func: ast.AST) -> None:
+        args = getattr(func, "args", None)
+        if args is None:
+            return
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                                    ast.DictComp, ast.SetComp)):
+                bad = True
+            elif isinstance(default, ast.Call):
+                qual = self.imports.qualname(default.func)
+                bad = qual in {"list", "dict", "set", "bytearray", "collections.defaultdict"}
+            else:
+                bad = False
+            if bad:
+                self._emit(
+                    "PY-001",
+                    default,
+                    f"mutable default argument in {getattr(func, 'name', '?')}(): "
+                    "shared across every call",
+                )
+
+
+# ----------------------------------------------------------------------
+# PY-002: cross-file __all__ drift
+# ----------------------------------------------------------------------
+
+
+def _module_all(tree: ast.Module) -> Optional[List[str]]:
+    """The module's literal ``__all__`` list, or None if absent/dynamic."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    names = []
+                    for elt in value.elts:
+                        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                            names.append(elt.value)
+                    return names
+                return None
+    return None
+
+
+def _check_all_drift(
+    init_path: Path, source: str, tree: ast.Module, display_path: str
+) -> List[Finding]:
+    """PY-002 for one package ``__init__.py``: re-exports vs module __all__."""
+    findings: List[Finding] = []
+    rule = RULES["PY-002"]
+    lines = source.splitlines()
+    pkg_dir = init_path.parent
+    for node in tree.body:
+        if not isinstance(node, ast.ImportFrom) or node.level != 1 or not node.module:
+            continue
+        # Only leaf sibling modules: `from .curve import MissRatioCurve`.
+        mod_file = pkg_dir / (node.module.split(".")[0] + ".py")
+        if not mod_file.is_file():
+            continue
+        try:
+            mod_tree = ast.parse(mod_file.read_text(encoding="utf-8"))
+        except SyntaxError:
+            continue
+        exported = _module_all(mod_tree)
+        names = [a.name for a in node.names if a.name != "*"]
+        if exported is None:
+            findings.append(
+                Finding(
+                    rule="PY-002",
+                    severity=rule.severity,
+                    path=display_path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=(
+                        f"module {node.module!r} is re-exported here but "
+                        "defines no __all__"
+                    ),
+                    fix_hint=rule.fix_hint,
+                    snippet=_line_of(lines, node.lineno).strip(),
+                )
+            )
+            continue
+        for missing in (n for n in names if n not in exported):
+            findings.append(
+                Finding(
+                    rule="PY-002",
+                    severity=rule.severity,
+                    path=display_path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=(
+                        f"{missing!r} is re-exported from {node.module!r} but "
+                        f"missing from that module's __all__"
+                    ),
+                    fix_hint=rule.fix_hint,
+                    snippet=_line_of(lines, node.lineno).strip(),
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    real_path: Optional[Path] = None,
+    model_dirs: Sequence[str] = DEFAULT_MODEL_DIRS,
+) -> List[Finding]:
+    """Lint one module's source text; applies suppression comments."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="PARSE",
+                severity="error",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"syntax error: {exc.msg}",
+                fix_hint="fix the syntax error",
+            )
+        ]
+    findings = _FileChecker(path, source, tree, model_dirs=model_dirs).run()
+    if real_path is not None and real_path.name == "__init__.py":
+        findings.extend(_check_all_drift(real_path, source, tree, path))
+    allowed = _parse_suppressions(source)
+    kept = []
+    for f in findings:
+        rules_here = allowed.get(f.line, set())
+        if f.rule in rules_here or "*" in rules_here:
+            continue
+        kept.append(f)
+    return kept
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths``, skipping caches and hidden dirs."""
+    seen: Set[Path] = set()
+    for root in paths:
+        root = Path(root)
+        candidates = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for p in candidates:
+            if any(part.startswith(".") or part == "__pycache__" for part in p.parts):
+                continue
+            rp = p.resolve()
+            if rp not in seen:
+                seen.add(rp)
+                yield p
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    model_dirs: Sequence[str] = DEFAULT_MODEL_DIRS,
+    exclude: Sequence[str] = (),
+) -> List[Finding]:
+    """Lint every Python file under ``paths`` and return sorted findings."""
+    findings: List[Finding] = []
+    for file in iter_python_files(paths):
+        display = str(file)
+        if any(fnmatch.fnmatch(display, pat) for pat in exclude):
+            continue
+        source = file.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(source, display, real_path=file, model_dirs=model_dirs)
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Load ``fingerprint -> count`` from a baseline JSON file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    raw = data.get("fingerprints", {})
+    return {str(k): int(v) for k, v in raw.items()}
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Freeze ``findings`` as the accepted baseline at ``path``."""
+    counts: Dict[str, int] = {}
+    for f in findings:
+        counts[f.fingerprint] = counts.get(f.fingerprint, 0) + 1
+    payload = {
+        "version": 1,
+        "tool": "reprolint",
+        "count": len(findings),
+        "fingerprints": counts,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> List[Finding]:
+    """Drop findings frozen in ``baseline`` (counted per fingerprint)."""
+    budget = dict(baseline)
+    fresh: List[Finding] = []
+    for f in findings:
+        if budget.get(f.fingerprint, 0) > 0:
+            budget[f.fingerprint] -= 1
+        else:
+            fresh.append(f)
+    return fresh
+
+
+# ----------------------------------------------------------------------
+# Reports / CLI
+# ----------------------------------------------------------------------
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report with file:line anchors and per-rule totals."""
+    if not findings:
+        return "reprolint: no findings"
+    out = [
+        f"{f.path}:{f.line}:{f.col} {f.rule} {f.severity}: {f.message}"
+        f"\n    hint: {f.fix_hint}"
+        for f in findings
+    ]
+    by_rule: Dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    summary = ", ".join(f"{rid}={n}" for rid, n in sorted(by_rule.items()))
+    out.append(f"reprolint: {len(findings)} finding(s) ({summary})")
+    return "\n".join(out)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (stable schema, used as a CI artifact)."""
+    by_sev = {s: 0 for s in SEVERITIES}
+    for f in findings:
+        by_sev[f.severity] = by_sev.get(f.severity, 0) + 1
+    payload = {
+        "tool": "reprolint",
+        "version": 1,
+        "summary": {"total": len(findings), **by_sev},
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (also reachable as ``repro lint``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="reprolint: repo-specific determinism & shm-safety checks",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (json is the CI-artifact schema)",
+    )
+    parser.add_argument(
+        "--severity", choices=list(SEVERITIES), default="info",
+        help="minimum severity to report; exit is nonzero iff anything "
+             "at/above this level remains (default: info)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="JSON baseline of frozen findings to ignore",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--exclude", action="append", default=[], metavar="GLOB",
+        help="path glob(s) to skip (repeatable)",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="also write the report to this file",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.id}  {rule.severity:8s} {rule.summary}")
+            print(f"         fix: {rule.fix_hint}")
+        return 0
+
+    findings = lint_paths(
+        [Path(p) for p in args.paths], exclude=tuple(args.exclude)
+    )
+
+    if args.baseline and args.update_baseline:
+        write_baseline(Path(args.baseline), findings)
+        print(f"reprolint: froze {len(findings)} finding(s) in {args.baseline}")
+        return 0
+    if args.baseline and Path(args.baseline).is_file():
+        findings = apply_baseline(findings, load_baseline(Path(args.baseline)))
+
+    threshold = _SEVERITY_RANK[args.severity]
+    reported = [f for f in findings if _SEVERITY_RANK.get(f.severity, 2) >= threshold]
+
+    report = render_json(reported) if args.format == "json" else render_text(reported)
+    print(report)
+    if args.output:
+        Path(args.output).write_text(report + "\n")
+    return 1 if reported else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

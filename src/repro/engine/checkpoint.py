@@ -23,6 +23,12 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+__all__ = [
+    "CheckpointMismatch",
+    "SweepCheckpoint",
+]
+
+
 #: A finished row in transit: ``(index, sizes, miss_ratios, unit, stats)``.
 Row = Tuple[int, np.ndarray, np.ndarray, str, dict]
 
@@ -42,7 +48,7 @@ class SweepCheckpoint:
     KIND = "repro-sweep-checkpoint"
     VERSION = 1
 
-    def __init__(self, path, signature: dict) -> None:
+    def __init__(self, path: "str | os.PathLike[str]", signature: dict) -> None:
         self.path = Path(path)
         self.signature = signature
         self._header_written = False

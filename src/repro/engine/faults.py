@@ -45,6 +45,13 @@ from typing import Optional, Tuple
 
 from .runner import TransientTaskError
 
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "maybe_inject",
+]
+
+
 ENV_VAR = "REPRO_FAULTS"
 
 _MODES = ("crash", "crash-once", "hang", "hang-once", "flaky")

@@ -43,7 +43,17 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "ResilientRunner",
+    "RunReport",
+    "TaskFailedError",
+    "TaskReport",
+    "TransientTaskError",
+    "resolve_workers",
+]
+
 
 
 class TransientTaskError(RuntimeError):
@@ -102,7 +112,7 @@ class RunReport:
     wall_time: float = 0.0
     tasks: List[TaskReport] = field(default_factory=list)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
 
     def to_json(self, indent: int = 2) -> str:
@@ -155,7 +165,7 @@ class ResilientRunner:
         *,
         max_workers: Optional[int] = None,
         initializer: Optional[Callable[..., None]] = None,
-        initargs: Tuple = (),
+        initargs: Tuple[Any, ...] = (),
         serial_setup: Optional[Callable[[], None]] = None,
         serial_teardown: Optional[Callable[[], None]] = None,
         task_timeout: Optional[float] = None,
@@ -163,7 +173,7 @@ class ResilientRunner:
         backoff: float = 0.5,
         backoff_cap: float = 30.0,
         max_pool_rebuilds: int = 3,
-        retryable: Tuple[type, ...] = _DEFAULT_RETRYABLE,
+        retryable: Tuple["type[BaseException]", ...] = _DEFAULT_RETRYABLE,
     ) -> None:
         self.fn = fn
         self.max_workers = max_workers
@@ -227,7 +237,14 @@ class ResilientRunner:
     # ------------------------------------------------------------------
     # serial path (also the degradation target)
     # ------------------------------------------------------------------
-    def _run_serial(self, todo, payloads, results, report, on_result) -> None:
+    def _run_serial(
+        self,
+        todo: Sequence[int],
+        payloads: Sequence[Any],
+        results: Dict[int, Any],
+        report: RunReport,
+        on_result: Optional[Callable[[int, Any], None]],
+    ) -> None:
         if not todo:
             return
         if self.serial_setup is not None:
@@ -241,7 +258,7 @@ class ResilientRunner:
             if self.serial_teardown is not None:
                 self.serial_teardown()
 
-    def _serial_one(self, i, payload, report):
+    def _serial_one(self, i: int, payload: Any, report: RunReport) -> Any:
         tr = report.tasks[i]
         while True:
             tr.attempts += 1
@@ -265,9 +282,15 @@ class ResilientRunner:
     # pool path
     # ------------------------------------------------------------------
     def _run_pool(
-        self, todo, payloads, results, report, on_result, workers
+        self,
+        todo: Sequence[int],
+        payloads: Sequence[Any],
+        results: Dict[int, Any],
+        report: RunReport,
+        on_result: Optional[Callable[[int, Any], None]],
+        workers: int,
     ) -> None:
-        pending: deque = deque(todo)
+        pending: Deque[int] = deque(todo)
         inflight: Dict[Future, Tuple[int, float]] = {}
         pool: Optional[ProcessPoolExecutor] = self._new_pool(workers)
         try:
@@ -371,7 +394,9 @@ class ResilientRunner:
             if pool is not None:
                 self._kill_pool(pool)
 
-    def _expired(self, inflight) -> List[Future]:
+    def _expired(
+        self, inflight: Dict[Future, Tuple[int, float]]
+    ) -> List[Future]:
         if self.task_timeout is None:
             return []
         now = time.monotonic()
@@ -381,7 +406,9 @@ class ResilientRunner:
             if not fut.done() and now - t0 >= self.task_timeout
         ]
 
-    def _wait_timeout(self, inflight) -> Optional[float]:
+    def _wait_timeout(
+        self, inflight: Dict[Future, Tuple[int, float]]
+    ) -> Optional[float]:
         if self.task_timeout is None:
             return None
         now = time.monotonic()
@@ -391,7 +418,12 @@ class ResilientRunner:
         return max(0.05, nearest)
 
     def _rebuild_or_degrade(
-        self, pool, inflight, pending, report, workers
+        self,
+        pool: Optional[ProcessPoolExecutor],
+        inflight: Dict[Future, Tuple[int, float]],
+        pending: "Deque[int]",
+        report: RunReport,
+        workers: int,
     ) -> Optional[ProcessPoolExecutor]:
         """Requeue in-flight work, kill the pool, and rebuild (or give up)."""
         for i, _ in inflight.values():

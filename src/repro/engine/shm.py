@@ -45,6 +45,13 @@ import numpy as np
 
 from ..workloads.trace import Trace
 
+__all__ = [
+    "AttachedTrace",
+    "SharedTraceStore",
+    "TraceSpec",
+]
+
+
 # ----------------------------------------------------------------------
 # Guaranteed-cleanup registry: every live creator-side store, unlinked on
 # interpreter exit and on SIGTERM even when close() was never reached.
@@ -64,7 +71,7 @@ def _cleanup_live_stores() -> None:
             pass
 
 
-def _sigterm_cleanup(signum, frame) -> None:  # pragma: no cover - signal path
+def _sigterm_cleanup(signum: int, frame: object) -> None:  # pragma: no cover - signal path
     _cleanup_live_stores()
     previous = _PREV_SIGTERM
     if callable(previous):
@@ -110,7 +117,7 @@ class TraceSpec:
 
 
 def _column_views(
-    buf, n: int
+    buf: memoryview, n: int
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """(keys, sizes, ops) ndarray views over a shared buffer."""
     keys = np.ndarray((n,), dtype=np.int64, buffer=buf, offset=0)
@@ -141,7 +148,11 @@ class SharedTraceStore:
         keys[:] = trace.keys
         sizes[:] = trace.sizes
         ops[:] = trace.ops
-        self._views: Optional[tuple] = (keys, sizes, ops)
+        self._views: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = (
+            keys,
+            sizes,
+            ops,
+        )
         self._closed = False
         # Forked pool workers inherit this object (and the SIGTERM cleanup
         # handler); only the creating process may unlink the segment.
@@ -155,9 +166,9 @@ class SharedTraceStore:
 
     def view(self) -> Trace:
         """Zero-copy :class:`Trace` over the shared block (creator side)."""
-        if self._closed:
+        if self._closed or self._views is None:
             raise ValueError("store is closed")
-        keys, sizes, ops = self._views  # type: ignore[misc]
+        keys, sizes, ops = self._views
         return Trace(keys, sizes, ops, name=self.spec.trace_name)
 
     def close(self) -> None:
@@ -178,7 +189,7 @@ class SharedTraceStore:
     def __enter__(self) -> "SharedTraceStore":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
@@ -201,20 +212,39 @@ class AttachedTrace:
     def __init__(self, spec: TraceSpec) -> None:
         self.spec = spec
         self._shm = shared_memory.SharedMemory(name=spec.shm_name)
-        self.keys, self.sizes, self.ops = _column_views(
-            self._shm.buf, spec.n_requests
+        self._views: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = (
+            _column_views(self._shm.buf, spec.n_requests)
         )
         self._lists: Optional[Tuple[List[int], List[int]]] = None
         self._closed = False
 
+    def _columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._views is None:
+            raise ValueError("attached trace is closed")
+        return self._views
+
+    @property
+    def keys(self) -> np.ndarray:
+        return self._columns()[0]
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return self._columns()[1]
+
+    @property
+    def ops(self) -> np.ndarray:
+        return self._columns()[2]
+
     def as_trace(self) -> Trace:
         """Zero-copy :class:`Trace` over the attached columns."""
-        return Trace(self.keys, self.sizes, self.ops, name=self.spec.trace_name)
+        keys, sizes, ops = self._columns()
+        return Trace(keys, sizes, ops, name=self.spec.trace_name)
 
     def columns_as_lists(self) -> Tuple[List[int], List[int]]:
         """(keys, sizes) as Python lists, converted once and cached."""
         if self._lists is None:
-            self._lists = (self.keys.tolist(), self.sizes.tolist())
+            keys, sizes, _ = self._columns()
+            self._lists = (keys.tolist(), sizes.tolist())
         return self._lists
 
     def close(self) -> None:
@@ -222,12 +252,12 @@ class AttachedTrace:
         if self._closed:
             return
         self._closed = True
-        self.keys = self.sizes = self.ops = None  # type: ignore[assignment]
+        self._views = None
         self._lists = None
         self._shm.close()
 
     def __enter__(self) -> "AttachedTrace":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

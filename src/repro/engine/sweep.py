@@ -42,6 +42,14 @@ from .faults import maybe_inject
 from .runner import ResilientRunner, RunReport, resolve_workers
 from .shm import AttachedTrace, SharedTraceStore, TraceSpec
 
+__all__ = [
+    "ModelSweep",
+    "SweepConfig",
+    "SweepResult",
+    "model_sweep",
+]
+
+
 
 @dataclass(frozen=True)
 class SweepConfig:
@@ -198,7 +206,7 @@ class ModelSweep:
         trace: Trace,
         max_workers: Optional[int] = None,
         max_size: Optional[int] = None,
-        **runner_kwargs,
+        **runner_kwargs: object,
     ) -> List[SweepResult]:
         """Evaluate every configuration; results ordered like ``configs``.
 
@@ -314,7 +322,7 @@ def model_sweep(
     seed: int = 0,
     max_workers: Optional[int] = None,
     max_size: Optional[int] = None,
-    **grid_kwargs,
+    **grid_kwargs: object,
 ) -> List[SweepResult]:
     """Convenience: build a grid sweep and run it in one call."""
     sweep = ModelSweep.grid(

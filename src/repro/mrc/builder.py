@@ -7,6 +7,13 @@ import numpy as np
 from ..stack.histogram import ByteDistanceHistogram, DistanceHistogram
 from .curve import MissRatioCurve
 
+__all__ = [
+    "from_byte_histogram",
+    "from_distance_histogram",
+    "from_points",
+]
+
+
 
 def from_distance_histogram(
     hist: DistanceHistogram,

@@ -14,6 +14,12 @@ from typing import Sequence
 
 import numpy as np
 
+__all__ = [
+    "MissRatioCurve",
+    "evaluation_grid",
+]
+
+
 
 @dataclass(frozen=True)
 class MissRatioCurve:

@@ -8,6 +8,13 @@ import numpy as np
 
 from .curve import MissRatioCurve
 
+__all__ = [
+    "curve_gap",
+    "max_absolute_error",
+    "mean_absolute_error",
+]
+
+
 
 def mean_absolute_error(
     actual: MissRatioCurve,

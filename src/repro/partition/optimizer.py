@@ -27,6 +27,16 @@ import numpy as np
 from .._util import check_positive
 from ..mrc.curve import MissRatioCurve
 
+__all__ = [
+    "PartitionResult",
+    "Tenant",
+    "equal_partition",
+    "greedy_partition",
+    "miss_cost_of",
+    "optimal_partition_dp",
+]
+
+
 
 @dataclass(frozen=True)
 class Tenant:

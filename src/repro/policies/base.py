@@ -23,6 +23,13 @@ from .._util import RngLike, check_positive, check_sampling_size, ensure_rng
 from ..simulator.base import CacheStats
 from ..simulator.klru import _ResidentSet
 
+__all__ = [
+    "ByteSampledPolicyCache",
+    "ObjectRecord",
+    "SampledPolicyCache",
+]
+
+
 
 @dataclass
 class ObjectRecord:

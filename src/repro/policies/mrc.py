@@ -25,6 +25,13 @@ from ..workloads.trace import Trace
 from .base import PriorityFn, SampledPolicyCache
 from .priorities import PRIORITIES
 
+__all__ = [
+    "compare_policies",
+    "miniature_policy_mrc",
+    "sampled_policy_mrc",
+]
+
+
 
 def _resolve(priority: str | PriorityFn) -> tuple[PriorityFn, str]:
     if callable(priority):

@@ -10,6 +10,17 @@ from __future__ import annotations
 
 from .base import ObjectRecord, PriorityFn
 
+__all__ = [
+    "PRIORITIES",
+    "fifo_priority",
+    "hit_density_priority",
+    "hyperbolic_priority",
+    "hyperbolic_size_priority",
+    "lfu_priority",
+    "lru_priority",
+]
+
+
 
 def lru_priority(rec: ObjectRecord, now: int) -> float:
     """Sampled LRU (== K-LRU): evict the least recently accessed."""

@@ -10,6 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
+__all__ = [
+    "hash_to_unit",
+    "splitmix64",
+]
+
+
 _MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
 _C1 = np.uint64(0xBF58476D1CE4E5B9)
 _C2 = np.uint64(0x94D049BB133111EB)

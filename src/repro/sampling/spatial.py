@@ -24,6 +24,14 @@ import numpy as np
 from .._util import check_in_range, check_positive
 from .hashing import splitmix64
 
+__all__ = [
+    "DEFAULT_MODULUS",
+    "FixedSizeSpatialSampler",
+    "SpatialSampler",
+    "choose_rate",
+]
+
+
 #: Default modulus (2^24, as in the SHARDS paper's ``hash(L) mod P < T``).
 DEFAULT_MODULUS = 1 << 24
 

@@ -13,6 +13,13 @@ from typing import Protocol, runtime_checkable
 
 from ..workloads.trace import Trace
 
+__all__ = [
+    "CacheSimulator",
+    "CacheStats",
+    "run_trace",
+]
+
+
 
 @dataclass
 class CacheStats:

@@ -18,6 +18,12 @@ import random
 from .._util import RngLike, check_positive, check_sampling_size, ensure_rng
 from .base import CacheStats
 
+__all__ = [
+    "ByteKLRUCache",
+    "KLRUCache",
+]
+
+
 
 class _ResidentSet:
     """Array + index map: O(1) insert, remove, and uniform sampling."""

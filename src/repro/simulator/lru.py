@@ -7,6 +7,12 @@ from collections import OrderedDict
 from .._util import check_positive
 from .base import CacheStats
 
+__all__ = [
+    "ByteLRUCache",
+    "LRUCache",
+]
+
+
 
 class LRUCache:
     """Exact LRU over a fixed number of objects.

@@ -23,6 +23,12 @@ from .klru import KLRUCache
 from .lru import LRUCache
 from .sweep import object_size_grid
 
+__all__ = [
+    "miniature_klru_mrc",
+    "miniature_lru_mrc",
+]
+
+
 
 def miniature_klru_mrc(
     trace: Trace,

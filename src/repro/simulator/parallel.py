@@ -33,6 +33,12 @@ from ..workloads.trace import Trace
 from .klru import ByteKLRUCache, KLRUCache
 from .sweep import byte_size_grid, object_size_grid
 
+__all__ = [
+    "parallel_klru_mrc",
+    "parallel_klru_mrc_with_report",
+]
+
+
 # Worker-side trace state: either an AttachedTrace (pool path) or the
 # columns installed directly as lists (serial in-process path).
 _WORKER_ATTACHED: Optional[AttachedTrace] = None

@@ -28,6 +28,14 @@ from .._util import RngLike, check_positive, check_sampling_size, ensure_rng
 from .base import CacheStats
 from .klru import _ResidentSet
 
+__all__ = [
+    "EVPOOL_SIZE",
+    "LRU_BITS",
+    "LRU_CLOCK_MAX",
+    "RedisLikeCache",
+]
+
+
 #: Redis constants (server.h / evict.c).
 LRU_BITS = 24
 LRU_CLOCK_MAX = (1 << LRU_BITS) - 1

@@ -22,6 +22,18 @@ from .klru import ByteKLRUCache, KLRUCache
 from .lru import ByteLRUCache, LRUCache
 from .redis_like import RedisLikeCache
 
+__all__ = [
+    "byte_klru_mrc",
+    "byte_lru_mrc",
+    "byte_size_grid",
+    "klru_mrc",
+    "lru_mrc",
+    "object_size_grid",
+    "redis_mrc",
+    "sweep_mrc",
+]
+
+
 SimulatorFactory = Callable[[int], CacheSimulator]
 
 

@@ -12,6 +12,12 @@ from __future__ import annotations
 
 import numpy as np
 
+__all__ = [
+    "FenwickTree",
+    "GrowableFenwick",
+]
+
+
 
 class FenwickTree:
     """Fenwick tree over ``n`` slots supporting point add / prefix sum.

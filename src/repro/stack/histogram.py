@@ -11,9 +11,16 @@ with spatial sampling.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Tuple
 
 import numpy as np
+import numpy.typing as npt
+
+__all__ = [
+    "ByteDistanceHistogram",
+    "DistanceHistogram",
+]
+
 
 
 class DistanceHistogram:
@@ -67,7 +74,7 @@ class DistanceHistogram:
     def record_cold(self) -> None:
         self.record(0)
 
-    def record_many(self, distances) -> None:
+    def record_many(self, distances: "npt.ArrayLike") -> None:
         """Bulk :meth:`record`: one ``bincount`` pass over a batch.
 
         Elementwise equivalent to ``for d in distances: self.record(d)``
@@ -101,7 +108,9 @@ class DistanceHistogram:
         nz = np.flatnonzero(self._counts)
         return int(nz[-1]) if nz.size else 0
 
-    def miss_ratio_curve(self, max_size: int | None = None):
+    def miss_ratio_curve(
+        self, max_size: int | None = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Miss ratios at cache sizes ``0..max_size`` (object granularity).
 
         With spatial-sampling scale ``s``, a recorded distance ``d`` stands
@@ -187,7 +196,7 @@ class ByteDistanceHistogram:
     def record_cold(self) -> None:
         self.record(-1.0)
 
-    def record_many(self, distances_bytes) -> None:
+    def record_many(self, distances_bytes: "npt.ArrayLike") -> None:
         """Bulk :meth:`record`: vectorized bucketing of a distance batch.
 
         Elementwise equivalent to calling :meth:`record` per value
@@ -213,7 +222,7 @@ class ByteDistanceHistogram:
             self._counts = grown
         self._counts[: counts.shape[0]] += counts
 
-    def miss_ratio_curve(self):
+    def miss_ratio_curve(self) -> Tuple[np.ndarray, np.ndarray]:
         """``(sizes_bytes, miss_ratios)`` at bucket-boundary cache sizes.
 
         A distance in bucket ``b`` hits once the cache holds at least

@@ -24,6 +24,14 @@ from ..workloads.trace import Trace
 from .fenwick import GrowableFenwick
 from .histogram import ByteDistanceHistogram, DistanceHistogram
 
+__all__ = [
+    "LinkedListLRUStack",
+    "TreeLRUStack",
+    "lru_distance_stream",
+    "lru_histograms",
+]
+
+
 
 class _DNode:
     __slots__ = ("key", "size", "prev", "next")

@@ -22,6 +22,17 @@ import numpy as np
 
 from .._util import RngLike, check_sampling_size, ensure_rng
 
+__all__ = [
+    "GenericStack",
+    "krr_policy",
+    "krr_stack",
+    "lru_policy",
+    "lru_stack",
+    "rr_policy",
+    "rr_stack",
+]
+
+
 # A policy maps a 1-based stack position to the probability that the
 # resident there is *displaced* during a stack update.
 DisplaceProbability = Callable[[int], float]

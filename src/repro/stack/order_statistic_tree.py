@@ -10,11 +10,16 @@ cross-check each other in tests.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from .._util import RngLike, ensure_rng
+
+__all__ = [
+    "OrderStatisticTreap",
+]
+
 
 
 class _Node:
@@ -68,7 +73,9 @@ class OrderStatisticTreap:
         return key in self._nodes
 
     # -- treap primitives (split by timestamp; larger ts sorts earlier) ----
-    def _split(self, node: Optional[_Node], ts: int):
+    def _split(
+        self, node: Optional[_Node], ts: int
+    ) -> "Tuple[Optional[_Node], Optional[_Node]]":
         """Split into (subtree with ts > given, subtree with ts <= given)."""
         if node is None:
             return None, None

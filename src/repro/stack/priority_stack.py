@@ -20,12 +20,25 @@ Updates are ``O(M)`` — this is an oracle/baseline module, not a fast path.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable
+from typing import TYPE_CHECKING, Callable, Dict, Iterable
 
 import numpy as np
 
 from ..workloads.trace import Trace
 from .histogram import DistanceHistogram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..mrc.curve import MissRatioCurve
+
+__all__ = [
+    "PriorityStack",
+    "lfu_distances",
+    "lfu_mrc",
+    "mru_distances",
+    "opt_distances",
+    "opt_mrc",
+]
+
 
 # NOTE: repro.mrc.builder imports this package's histogram module, so the
 # builder/curve imports live inside the mrc-producing functions to keep the
@@ -117,7 +130,7 @@ def opt_distances(trace: Trace) -> np.ndarray:
     return out
 
 
-def opt_mrc(trace: Trace, max_size: int | None = None):
+def opt_mrc(trace: Trace, max_size: int | None = None) -> "MissRatioCurve":
     """Belady-optimal MRC (the lower bound every policy is judged against)."""
     from ..mrc.builder import from_distance_histogram
 
@@ -148,7 +161,7 @@ def lfu_distances(trace: Trace) -> np.ndarray:
     return out
 
 
-def lfu_mrc(trace: Trace, max_size: int | None = None):
+def lfu_mrc(trace: Trace, max_size: int | None = None) -> "MissRatioCurve":
     """Exact-LFU MRC via the priority stack."""
     from ..mrc.builder import from_distance_histogram
 

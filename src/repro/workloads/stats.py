@@ -17,6 +17,15 @@ import numpy as np
 
 from .trace import Trace, reuse_times
 
+__all__ = [
+    "TraceProfile",
+    "estimate_zipf_alpha",
+    "profile_trace",
+    "reuse_summary",
+    "sequentiality_score",
+]
+
+
 
 def estimate_zipf_alpha(trace: Trace, top_fraction: float = 0.5) -> float:
     """Fit a Zipf exponent to the trace's popularity distribution.

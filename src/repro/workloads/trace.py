@@ -13,6 +13,20 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._util import RngLike, ensure_rng
+
+__all__ = [
+    "OP_DELETE",
+    "OP_GET",
+    "OP_SET",
+    "Request",
+    "Trace",
+    "op_code",
+    "op_name",
+    "reuse_times",
+]
+
+
 #: Operation codes stored in :attr:`Trace.ops`.
 OP_GET = 0
 OP_SET = 1
@@ -195,7 +209,7 @@ class Trace:
     @staticmethod
     def interleave(
         traces: Sequence["Trace"],
-        rng: Optional[np.random.Generator] = None,
+        rng: RngLike = None,
         name: str = "master",
     ) -> "Trace":
         """Randomly interleave several traces into one "master" trace.
@@ -205,7 +219,7 @@ class Trace:
         servers' streams are shuffled together.  Key spaces are disjointified
         by tagging each trace's keys with its index in the high bits.
         """
-        rng = np.random.default_rng() if rng is None else rng
+        rng = ensure_rng(rng)
         if not traces:
             return Trace(np.empty(0, dtype=np.int64), name=name)
         owner = np.concatenate(

@@ -13,6 +13,13 @@ import numpy as np
 
 from .._util import RngLike, check_positive, ensure_rng
 
+__all__ = [
+    "ScrambledZipfGenerator",
+    "ZipfGenerator",
+    "zipf_trace_keys",
+]
+
+
 
 class ZipfGenerator:
     """Exact bounded-Zipf sampler over ``n`` items with parameter ``alpha``.

@@ -1,0 +1,605 @@
+"""reprolint rule coverage: every rule in violating, clean, and suppressed form.
+
+Each rule gets three fixture snippets run through :func:`lint_source` (or a
+temp package for the cross-file PY-002), plus end-to-end `repro lint
+--format json` runs over a temp package and the baseline freeze workflow.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import (
+    RULES,
+    Finding,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    main as lint_main,
+    write_baseline,
+)
+
+
+def rules_of(findings) -> set:
+    return {f.rule for f in findings}
+
+
+def lint_snippet(code: str, path: str = "src/repro/somewhere/mod.py"):
+    return lint_source(textwrap.dedent(code), path)
+
+
+# ----------------------------------------------------------------------
+# RNG-001: unseeded / legacy global numpy randomness
+# ----------------------------------------------------------------------
+
+
+class TestRNG001:
+    def test_unseeded_default_rng_violates(self):
+        findings = lint_snippet(
+            """
+            import numpy as np
+
+            def fresh():
+                return np.random.default_rng()
+            """
+        )
+        assert "RNG-001" in rules_of(findings)
+        (f,) = [f for f in findings if f.rule == "RNG-001"]
+        assert f.severity == "error"
+        assert f.line == 5
+        assert "default_rng" in f.snippet
+
+    def test_explicit_none_seed_violates(self):
+        findings = lint_snippet(
+            """
+            import numpy as np
+
+            def fresh():
+                return np.random.default_rng(None)
+            """
+        )
+        assert "RNG-001" in rules_of(findings)
+
+    def test_legacy_module_level_dist_violates(self):
+        findings = lint_snippet(
+            """
+            import numpy as np
+
+            def noisy(n):
+                return np.random.normal(size=n)
+            """
+        )
+        assert "RNG-001" in rules_of(findings)
+
+    def test_seeded_default_rng_is_clean(self):
+        findings = lint_snippet(
+            """
+            import numpy as np
+
+            def fresh(seed):
+                return np.random.default_rng(seed)
+            """
+        )
+        assert "RNG-001" not in rules_of(findings)
+
+    def test_generator_methods_are_clean(self):
+        findings = lint_snippet(
+            """
+            import numpy as np
+
+            def draw(rng: np.random.Generator):
+                return rng.integers(0, 10)
+            """
+        )
+        assert findings == []
+
+    def test_suppression_comment(self):
+        findings = lint_snippet(
+            """
+            import numpy as np
+
+            def fresh():
+                return np.random.default_rng()  # repro: allow[RNG-001]: CLI entropy
+            """
+        )
+        assert "RNG-001" not in rules_of(findings)
+
+    def test_import_alias_is_resolved(self):
+        findings = lint_snippet(
+            """
+            import numpy
+            from numpy.random import default_rng
+
+            def a():
+                return numpy.random.default_rng()
+
+            def b():
+                return default_rng()
+            """
+        )
+        assert sum(1 for f in findings if f.rule == "RNG-001") == 2
+
+
+# ----------------------------------------------------------------------
+# RNG-002: randomness constructed outside ensure_rng
+# ----------------------------------------------------------------------
+
+
+class TestRNG002:
+    def test_rng_param_bypassing_ensure_rng_violates(self):
+        findings = lint_snippet(
+            """
+            import numpy as np
+
+            def model(trace, rng=None):
+                gen = np.random.default_rng(rng)
+                return gen.random()
+            """
+        )
+        assert "RNG-002" in rules_of(findings)
+
+    def test_random_random_without_ensure_rng_violates(self):
+        findings = lint_snippet(
+            """
+            import random
+
+            def shuffle(items, rng=None):
+                rnd = random.Random(42)
+                rnd.shuffle(items)
+            """
+        )
+        assert "RNG-002" in rules_of(findings)
+
+    def test_blessed_random_random_idiom_is_clean(self):
+        # The allowlisted klru.py pattern: stdlib Random seeded from the
+        # caller's generator through the one blessed entry point.
+        findings = lint_snippet(
+            """
+            import random
+            from repro._util import ensure_rng
+
+            def build(rng=None):
+                rnd = random.Random(int(ensure_rng(rng).integers(0, 2**63)))
+                return rnd
+            """
+        )
+        assert "RNG-002" not in rules_of(findings)
+
+    def test_ensure_rng_with_rng_param_is_clean(self):
+        findings = lint_snippet(
+            """
+            from repro._util import ensure_rng
+
+            def sample(trace, rng=None):
+                rng = ensure_rng(rng)
+                return rng.random()
+            """
+        )
+        assert findings == []
+
+    def test_public_function_without_rng_param_violates(self):
+        findings = lint_snippet(
+            """
+            from repro._util import ensure_rng
+
+            def sample(trace):
+                rng = ensure_rng(1234)
+                return rng.random()
+            """
+        )
+        assert "RNG-002" in rules_of(findings)
+
+    def test_private_function_without_rng_param_is_clean(self):
+        findings = lint_snippet(
+            """
+            from repro._util import ensure_rng
+
+            def _helper(trace):
+                rng = ensure_rng(1234)
+                return rng.random()
+            """
+        )
+        assert "RNG-002" not in rules_of(findings)
+
+    def test_method_feeding_from_held_state_is_clean(self):
+        findings = lint_snippet(
+            """
+            from repro._util import ensure_rng
+
+            class Model:
+                def __init__(self, rng=None):
+                    self._rng = ensure_rng(rng)
+
+                def resample(self):
+                    return ensure_rng(self._rng).random()
+            """
+        )
+        assert "RNG-002" not in rules_of(findings)
+
+    def test_suppression_comment(self):
+        findings = lint_snippet(
+            """
+            import random
+
+            def shuffle(items, rng=None):
+                rnd = random.Random(42)  # repro: allow[RNG-002]: fixed demo seed
+                rnd.shuffle(items)
+            """
+        )
+        assert "RNG-002" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# SHM-001: shared-memory lifecycle
+# ----------------------------------------------------------------------
+
+
+class TestSHM001:
+    def test_create_without_registration_violates(self):
+        findings = lint_snippet(
+            """
+            from multiprocessing import shared_memory
+
+            def make(nbytes):
+                shm = shared_memory.SharedMemory(create=True, size=nbytes)
+                return shm
+            """
+        )
+        assert "SHM-001" in rules_of(findings)
+
+    def test_create_with_registration_is_clean(self):
+        findings = lint_snippet(
+            """
+            import atexit
+            from multiprocessing import shared_memory
+
+            def make(nbytes, registry):
+                shm = shared_memory.SharedMemory(create=True, size=nbytes)
+                registry.add(shm)
+                return shm
+            """
+        )
+        assert "SHM-001" not in rules_of(findings)
+
+    def test_attach_without_create_is_clean(self):
+        findings = lint_snippet(
+            """
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                return shared_memory.SharedMemory(name=name)
+            """
+        )
+        assert "SHM-001" not in rules_of(findings)
+
+    def test_unlink_without_pid_guard_violates(self):
+        findings = lint_snippet(
+            """
+            def destroy(shm):
+                shm.close()
+                shm.unlink()
+            """
+        )
+        assert "SHM-001" in rules_of(findings)
+
+    def test_unlink_with_pid_guard_is_clean(self):
+        findings = lint_snippet(
+            """
+            import os
+
+            def destroy(shm, owner_pid):
+                shm.close()
+                if os.getpid() != owner_pid:
+                    return
+                shm.unlink()
+            """
+        )
+        assert "SHM-001" not in rules_of(findings)
+
+    def test_path_unlink_is_not_flagged(self):
+        findings = lint_snippet(
+            """
+            from pathlib import Path
+
+            def cleanup(path: Path):
+                path.unlink()
+            """
+        )
+        assert "SHM-001" not in rules_of(findings)
+
+    def test_suppression_comment(self):
+        findings = lint_snippet(
+            """
+            def destroy(shm):
+                shm.unlink()  # repro: allow[SHM-001]: one-shot test helper
+            """
+        )
+        assert "SHM-001" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# DET-001: wall clock / OS entropy in model paths
+# ----------------------------------------------------------------------
+
+
+class TestDET001:
+    MODEL_PATH = "src/repro/core/model.py"
+    OTHER_PATH = "src/repro/engine/runner.py"
+
+    def test_time_time_in_model_path_violates(self):
+        findings = lint_source(
+            "import time\n\ndef stamp() -> float:\n    return time.time()\n",
+            self.MODEL_PATH,
+        )
+        assert "DET-001" in rules_of(findings)
+
+    def test_datetime_now_in_model_path_violates(self):
+        findings = lint_source(
+            "from datetime import datetime\n\n"
+            "def stamp():\n    return datetime.now()\n",
+            self.MODEL_PATH,
+        )
+        assert "DET-001" in rules_of(findings)
+
+    def test_os_urandom_in_model_path_violates(self):
+        findings = lint_source(
+            "import os\n\ndef entropy():\n    return os.urandom(8)\n",
+            self.MODEL_PATH,
+        )
+        assert "DET-001" in rules_of(findings)
+
+    def test_monotonic_in_model_path_is_clean(self):
+        # time.monotonic is fine for measuring, not for results.
+        findings = lint_source(
+            "import time\n\ndef elapsed(t0):\n    return time.monotonic() - t0\n",
+            self.MODEL_PATH,
+        )
+        assert "DET-001" not in rules_of(findings)
+
+    def test_time_time_outside_model_path_is_clean(self):
+        findings = lint_source(
+            "import time\n\ndef stamp() -> float:\n    return time.time()\n",
+            self.OTHER_PATH,
+        )
+        assert "DET-001" not in rules_of(findings)
+
+    def test_suppression_comment(self):
+        findings = lint_source(
+            "import time\n\ndef stamp() -> float:\n"
+            "    return time.time()  # repro: allow[DET-001]: report metadata\n",
+            self.MODEL_PATH,
+        )
+        assert "DET-001" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# PY-001: mutable default arguments
+# ----------------------------------------------------------------------
+
+
+class TestPY001:
+    def test_list_default_violates(self):
+        findings = lint_snippet("def f(items=[]):\n    return items\n")
+        assert "PY-001" in rules_of(findings)
+
+    def test_dict_call_default_violates(self):
+        findings = lint_snippet("def f(opts=dict()):\n    return opts\n")
+        assert "PY-001" in rules_of(findings)
+
+    def test_kwonly_mutable_default_violates(self):
+        findings = lint_snippet("def f(*, acc={}):\n    return acc\n")
+        assert "PY-001" in rules_of(findings)
+
+    def test_none_default_is_clean(self):
+        findings = lint_snippet("def f(items=None):\n    return items or []\n")
+        assert findings == []
+
+    def test_tuple_default_is_clean(self):
+        findings = lint_snippet("def f(items=()):\n    return items\n")
+        assert findings == []
+
+    def test_suppression_comment(self):
+        findings = lint_snippet(
+            "def f(items=[]):  # repro: allow[PY-001]: read-only sentinel\n"
+            "    return items\n"
+        )
+        assert "PY-001" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# PY-002: __all__ drift (cross-file, needs a real package on disk)
+# ----------------------------------------------------------------------
+
+
+def make_package(tmp_path: Path, init_src: str, **modules: str) -> Path:
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text(textwrap.dedent(init_src))
+    for name, src in modules.items():
+        (pkg / f"{name}.py").write_text(textwrap.dedent(src))
+    return pkg
+
+
+class TestPY002:
+    def test_missing_all_violates(self, tmp_path):
+        pkg = make_package(
+            tmp_path,
+            "from .mod import thing\n",
+            mod="def thing():\n    return 1\n",
+        )
+        findings = lint_paths([pkg])
+        assert "PY-002" in rules_of(findings)
+        (f,) = [f for f in findings if f.rule == "PY-002"]
+        assert "no __all__" in f.message
+
+    def test_name_missing_from_all_violates(self, tmp_path):
+        pkg = make_package(
+            tmp_path,
+            "from .mod import thing, other\n",
+            mod=(
+                '__all__ = ["other"]\n\n'
+                "def thing():\n    return 1\n\n"
+                "def other():\n    return 2\n"
+            ),
+        )
+        findings = lint_paths([pkg])
+        msgs = [f.message for f in findings if f.rule == "PY-002"]
+        assert len(msgs) == 1 and "'thing'" in msgs[0]
+
+    def test_synced_all_is_clean(self, tmp_path):
+        pkg = make_package(
+            tmp_path,
+            "from .mod import thing\n",
+            mod='__all__ = ["thing"]\n\ndef thing():\n    return 1\n',
+        )
+        assert lint_paths([pkg]) == []
+
+    def test_submodule_import_is_ignored(self, tmp_path):
+        pkg = make_package(tmp_path, "from . import mod\n", mod="X = 1\n")
+        assert lint_paths([pkg]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        pkg = make_package(
+            tmp_path,
+            "from .mod import thing  # repro: allow[PY-002]: generated module\n",
+            mod="def thing():\n    return 1\n",
+        )
+        assert "PY-002" not in rules_of(lint_paths([pkg]))
+
+
+# ----------------------------------------------------------------------
+# Shared machinery
+# ----------------------------------------------------------------------
+
+
+class TestMachinery:
+    def test_every_shipped_rule_has_id_severity_and_hint(self):
+        assert set(RULES) == {
+            "RNG-001", "RNG-002", "SHM-001", "DET-001", "PY-001", "PY-002",
+        }
+        for rule in RULES.values():
+            assert rule.severity in ("info", "warning", "error")
+            assert rule.summary and rule.fix_hint
+
+    def test_multi_rule_suppression(self):
+        findings = lint_snippet(
+            """
+            import numpy as np
+
+            def f(rng=None):
+                return np.random.default_rng()  # repro: allow[RNG-001, RNG-002]
+            """
+        )
+        assert findings == []
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", "bad.py")
+        assert [f.rule for f in findings] == ["PARSE"]
+
+    def test_fingerprint_stable_across_line_drift(self):
+        src = "import numpy as np\n\ndef f():\n    return np.random.default_rng()\n"
+        shifted = "# a new comment line\n" + src
+        (a,) = lint_source(src, "x.py")
+        (b,) = lint_source(shifted, "x.py")
+        assert a.line != b.line and a.fingerprint == b.fingerprint
+
+
+# ----------------------------------------------------------------------
+# End-to-end: CLI over a temp package, JSON report, baseline workflow
+# ----------------------------------------------------------------------
+
+
+VIOLATING_PKG_INIT = "from .gen import make\n"
+VIOLATING_PKG_GEN = """\
+import numpy as np
+
+
+def make(n):
+    rng = np.random.default_rng()
+    return rng.integers(0, 10, size=n)
+"""
+
+
+@pytest.fixture
+def violating_pkg(tmp_path):
+    return make_package(tmp_path, VIOLATING_PKG_INIT, gen=VIOLATING_PKG_GEN)
+
+
+class TestEndToEnd:
+    def test_json_report_schema(self, violating_pkg, tmp_path, capsys):
+        out = tmp_path / "lint.json"
+        rc = lint_main([str(violating_pkg), "--format", "json", "-o", str(out)])
+        assert rc == 1
+        payload = json.loads(out.read_text())
+        assert payload["tool"] == "reprolint"
+        assert payload["summary"]["total"] == len(payload["findings"]) > 0
+        f = payload["findings"][0]
+        assert {"rule", "severity", "path", "line", "col", "message",
+                "fix_hint", "snippet", "fingerprint"} <= set(f)
+        # stdout carries the same report for interactive use
+        assert "reprolint" in capsys.readouterr().out
+
+    def test_severity_threshold_filters_warnings(self, violating_pkg, capsys):
+        # PY-002 (warning) must disappear at --severity error; RNG-001 stays.
+        rc = lint_main([str(violating_pkg), "--severity", "error", "--format", "json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in payload["findings"]} == {"RNG-001"}
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        pkg = make_package(
+            tmp_path,
+            "from .mod import thing\n",
+            mod='__all__ = ["thing"]\n\ndef thing():\n    return 1\n',
+        )
+        assert lint_main([str(pkg)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_baseline_freezes_existing_findings(self, violating_pkg, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(
+            [str(violating_pkg), "--baseline", str(baseline), "--update-baseline"]
+        ) == 0
+        assert load_baseline(baseline)
+        capsys.readouterr()
+        # With the baseline applied the same tree is clean...
+        assert lint_main([str(violating_pkg), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        # ...but a new violation still gates.
+        (violating_pkg / "extra.py").write_text(
+            "import numpy as np\n\ndef oops():\n    return np.random.default_rng()\n"
+        )
+        assert lint_main([str(violating_pkg), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "extra.py" in out and "gen.py" not in out
+
+    def test_repro_cli_subcommand(self, violating_pkg):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(violating_pkg),
+             "--severity", "error", "--format", "json"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert {f["rule"] for f in payload["findings"]} == {"RNG-001"}
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+
+class TestRepoIsClean:
+    def test_src_has_zero_findings_at_head(self):
+        src = Path(__file__).resolve().parent.parent / "src"
+        findings = lint_paths([src])
+        assert findings == [], "\n".join(
+            f"{f.path}:{f.line} {f.rule} {f.message}" for f in findings
+        )
