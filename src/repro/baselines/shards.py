@@ -13,17 +13,23 @@ Two refinements from the paper are included:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from .._util import check_positive
+from ..kernels.olken import batch_stack_distances
+from ..kernels.prep import next_occurrence
 from ..mrc.builder import from_distance_histogram
 from ..mrc.curve import MissRatioCurve
+from ..sampling.hashing import splitmix64
 from ..sampling.spatial import FixedSizeSpatialSampler, SpatialSampler
 from ..stack.histogram import ByteDistanceHistogram, DistanceHistogram
 from ..stack.lru_stack import TreeLRUStack
 from ..workloads.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from ..engine.plan import TracePlan
 
 __all__ = [
     "FixedSizeShards",
@@ -69,16 +75,60 @@ class Shards:
             return
         self._force_access(key, size)
 
-    def process(self, trace: Trace) -> "Shards":
+    def process(self, trace: Trace, plan: Optional["TracePlan"] = None) -> "Shards":
+        """Feed a whole trace; batch-kernel fast path on a fresh instance.
+
+        The spatial filter is applied to the key column in one vectorized
+        pass (reusing ``plan``'s cached hash column when given).  On a
+        fresh estimator the sampled subsequence then goes through the
+        offline Olken batch kernel instead of the per-access Fenwick loop
+        — identical distances, hence identical histograms — and the
+        streaming stack state is rebuilt so subsequent :meth:`access`
+        calls continue exactly where the per-access path would have.  An
+        estimator that already holds stack state falls back to streaming.
+        """
         keys = trace.keys
         sizes = trace.sizes
-        idx = self._sampler.filter_indices(keys)
+        if plan is not None:
+            idx = plan.sample_indices(
+                self._sampler.threshold, self._sampler.modulus, self._sampler.seed
+            )
+        else:
+            idx = self._sampler.filter_indices(keys)
+        if len(self._stack) == 0 and self.requests_sampled == 0:
+            skeys = keys[idx]
+            ssizes = sizes[idx]
+            distances, byte_distances = batch_stack_distances(
+                skeys, ssizes if self._byte_hist is not None else None
+            )
+            self.requests_seen += int(keys.shape[0])
+            self.requests_sampled += int(skeys.shape[0])
+            self._hist.record_many(distances)
+            if self._byte_hist is not None:
+                self._byte_hist.record_many(byte_distances.astype(np.float64))
+            self._rebuild_stack(skeys, ssizes)
+            return self
         # Unsampled requests only bump the seen counter; sampled ones go
         # through the shared recording path (pre-filtered, no re-hash).
         self.requests_seen += int(keys.shape[0]) - int(idx.shape[0])
         for i in idx:
             self._force_access(int(keys[i]), int(sizes[i]))
         return self
+
+    def _rebuild_stack(self, skeys: np.ndarray, ssizes: np.ndarray) -> None:
+        """Recreate the streaming stack state after a batch-kernel pass.
+
+        Future distances depend only on the recency *order* of the most
+        recent access per object (and its size on the byte tree), not on
+        absolute timestamps — so replaying just each object's last
+        occurrence, in trace order, leaves a stack whose every subsequent
+        ``access`` returns exactly what the streamed equivalent would.
+        """
+        if skeys.shape[0] == 0:
+            return
+        last = np.flatnonzero(next_occurrence(skeys) == skeys.shape[0])
+        for key, size in zip(skeys[last].tolist(), ssizes[last].tolist()):
+            self._stack.access(key, size)
 
     def _force_access(self, key: int, size: int) -> None:
         self.requests_seen += 1
@@ -162,9 +212,34 @@ class FixedSizeShards:
         dist, _ = self._stack.access(key, size)
         self._raw.append((dist if dist > 0 else 0, self._sampler.rate))
 
-    def process(self, trace: Trace) -> "FixedSizeShards":
-        for i in range(len(trace)):
-            self.access(int(trace.keys[i]), int(trace.sizes[i]))
+    def process(self, trace: Trace, plan: Optional["TracePlan"] = None) -> "FixedSizeShards":
+        """Feed a whole trace, hashing the key column in one batch pass.
+
+        The adaptive threshold makes the sampling decision inherently
+        sequential, but the per-key ``splitmix64`` is not: it is computed
+        vectorized up front (or reused from ``plan``'s hash column) and
+        streamed into :meth:`FixedSizeSpatialSampler.offer_hashed`, leaving
+        only the threshold compare and stack update in the Python loop.
+        """
+        if plan is not None:
+            hashed_arr = plan.hashes(self._sampler.seed)
+        else:
+            hashed = splitmix64(trace.keys, self._sampler.seed)
+            assert isinstance(hashed, np.ndarray)
+            hashed_arr = hashed
+        keys = trace.keys.tolist()
+        sizes = trace.sizes.tolist()
+        hashes = hashed_arr.tolist()
+        sampler = self._sampler
+        stack = self._stack
+        raw = self._raw
+        for key, size, h in zip(keys, sizes, hashes):
+            self.requests_seen += 1
+            if not sampler.offer_hashed(key, h):
+                continue
+            self.requests_sampled += 1
+            dist, _ = stack.access(key, size)
+            raw.append((dist if dist > 0 else 0, sampler.rate))
         return self
 
     def mrc(self, max_size: int | None = None, label: str = "SHARDS-smax") -> MissRatioCurve:

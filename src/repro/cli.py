@@ -157,6 +157,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         correction=not args.no_correction,
         seed=args.seed,
     )
+    chunk_size = args.chunk_size
+    if chunk_size is not None and chunk_size != "auto":
+        chunk_size = int(chunk_size)
     results, report = sweep.run_with_report(
         trace,
         max_workers=args.workers,
@@ -164,6 +167,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         task_timeout=args.task_timeout,
         retries=args.retries,
         checkpoint=args.checkpoint,
+        chunk_size=chunk_size,
     )
     print(
         f"# {len(results)} configs x {len(trace)} requests "
@@ -319,6 +323,11 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--retries", type=int, default=2,
                     help="retry budget per config for transient worker "
                          "failures and timeouts (default: 2)")
+    sw.add_argument("--chunk-size", default=None, metavar="N|auto",
+                    help="grid cells per pool task: batching amortizes "
+                         "per-task IPC on small sweeps ('auto' spreads the "
+                         "grid evenly over the workers; default: 1). "
+                         "Results are identical for any value")
     sw.add_argument("--report", default=None, metavar="PATH",
                     help="write the structured RunReport (attempts, retries, "
                          "timeouts, per-config wall time) as JSON")

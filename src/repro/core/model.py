@@ -25,7 +25,7 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
@@ -37,6 +37,9 @@ from ..stack.histogram import ByteDistanceHistogram, DistanceHistogram
 from ..workloads.trace import Trace
 from .correction import DEFAULT_EXPONENT, corrected_k
 from .krr import KRRStack
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> core)
+    from ..engine.plan import TracePlan
 
 __all__ = [
     "KRRModel",
@@ -178,7 +181,9 @@ class KRRModel:
             if self._byte_hist is not None:
                 self._byte_hist.record(byte_dist)
 
-    def process(self, trace: Trace) -> "KRRResult":
+    def process(
+        self, trace: Trace, plan: Optional["TracePlan"] = None
+    ) -> "KRRResult":
         """Feed a whole trace through the batched hot path and snapshot.
 
         Three batch passes replace the per-access loop: the spatial filter
@@ -189,6 +194,12 @@ class KRRModel:
         recorded into the histograms with one ``bincount`` pass each.
         Statistically identical to streaming :meth:`access` per request
         (draw-for-draw, given the same seed and sampler).
+
+        ``plan`` supplies a :class:`~repro.engine.plan.TracePlan` for this
+        trace; its cached hash column and per-rate sampled-index cache
+        replace the filter's hash pass entirely (the sweep engine shares
+        one plan across every grid cell and worker).  The selected indices
+        are identical either way.
         """
         if self._auto_rate and self._sampler is None:
             self._resolve_auto_sampler(trace)
@@ -196,7 +207,14 @@ class KRRModel:
         sizes = trace.sizes
         self.stats.requests_seen += int(keys.shape[0])
         if self._sampler is not None:
-            idx = self._sampler.filter_indices(keys)
+            if plan is not None:
+                idx = plan.sample_indices(
+                    self._sampler.threshold,
+                    self._sampler.modulus,
+                    self._sampler.seed,
+                )
+            else:
+                idx = self._sampler.filter_indices(keys)
             keys = keys[idx]
             sizes = sizes[idx]
         self.stats.requests_sampled += int(keys.shape[0])

@@ -1,6 +1,11 @@
 """repro.engine — shared-memory parallel modeling engine.
 
-Four pieces:
+Five pieces:
+
+* :mod:`repro.engine.plan` — :class:`TracePlan`: every trace-global
+  preparation pass (batched hashes, sampling masks per rate, dense key
+  factorization, occurrence indices) computed once, cached by trace
+  fingerprint, and publishable as zero-copy shared-memory columns.
 
 * :mod:`repro.engine.shm` — :class:`SharedTraceStore` /
   :class:`AttachedTrace`: trace columns mapped into worker processes via
@@ -25,6 +30,7 @@ runs on the same shared-memory store and resilient runner.
 
 from .checkpoint import CheckpointMismatch, SweepCheckpoint
 from .faults import FaultPlan, maybe_inject
+from .plan import TracePlan, clear_plan_cache, trace_fingerprint
 from .runner import (
     ResilientRunner,
     RunReport,
@@ -48,8 +54,11 @@ __all__ = [
     "SweepResult",
     "TaskFailedError",
     "TaskReport",
+    "TracePlan",
     "TraceSpec",
     "TransientTaskError",
+    "clear_plan_cache",
     "maybe_inject",
     "model_sweep",
+    "trace_fingerprint",
 ]

@@ -25,7 +25,7 @@ an optional JSONL checkpoint for resume, and returns a structured
 
 from __future__ import annotations
 
-import zlib
+import os
 from dataclasses import asdict, dataclass
 from itertools import product
 from pathlib import Path
@@ -39,6 +39,7 @@ from ..mrc.curve import MissRatioCurve
 from ..workloads.trace import Trace
 from .checkpoint import SweepCheckpoint
 from .faults import maybe_inject
+from .plan import TracePlan, trace_fingerprint
 from .runner import ResilientRunner, RunReport, resolve_workers
 from .shm import AttachedTrace, SharedTraceStore, TraceSpec
 
@@ -94,18 +95,23 @@ class SweepResult:
 # ----------------------------------------------------------------------
 _WORKER_TRACE: Optional[Trace] = None
 _WORKER_ATTACHED: Optional[AttachedTrace] = None
+_WORKER_PLAN: Optional[TracePlan] = None
 
 
 def _init_sweep_worker(spec: TraceSpec) -> None:
-    global _WORKER_TRACE, _WORKER_ATTACHED
+    global _WORKER_TRACE, _WORKER_ATTACHED, _WORKER_PLAN
     _WORKER_ATTACHED = AttachedTrace(spec)
     _WORKER_TRACE = _WORKER_ATTACHED.as_trace()
+    _WORKER_PLAN = _WORKER_ATTACHED.plan() if spec.with_plan else None
 
 
-def _install_trace(trace: Optional[Trace]) -> None:
-    global _WORKER_TRACE, _WORKER_ATTACHED
+def _install_trace(
+    trace: Optional[Trace], plan: Optional[TracePlan] = None
+) -> None:
+    global _WORKER_TRACE, _WORKER_ATTACHED, _WORKER_PLAN
     _WORKER_TRACE = trace
     _WORKER_ATTACHED = None
+    _WORKER_PLAN = plan
 
 
 def _model_one(
@@ -125,7 +131,7 @@ def _model_one(
         track_sizes=config.track_sizes,
         seed=seed,
     )
-    result = model.process(trace)
+    result = model.process(trace, plan=_WORKER_PLAN)
     if config.track_sizes:
         curve = result.byte_mrc()
         unit = "bytes"
@@ -141,6 +147,19 @@ def _model_one(
         "swap_positions": s.swap_positions,
     }
     return index, curve.sizes, curve.miss_ratios, unit, stats
+
+
+def _model_batch(
+    payloads: Tuple[Tuple[int, SweepConfig, int, Optional[int]], ...]
+) -> List[Tuple[int, np.ndarray, np.ndarray, str, dict]]:
+    """Run several grid cells in one worker round-trip (task batching).
+
+    Each cell still goes through :func:`_model_one` with its own
+    position-derived seed, so batching changes scheduling only — never
+    results.  Fewer, larger tasks amortize the submit/result IPC that
+    dominates small sweeps.
+    """
+    return [_model_one(payload) for payload in payloads]
 
 
 class ModelSweep:
@@ -232,10 +251,11 @@ class ModelSweep:
         backoff: float = 0.5,
         max_pool_rebuilds: int = 3,
         checkpoint: Union[str, Path, None] = None,
+        chunk_size: Union[None, int, str] = None,
     ) -> Tuple[List[SweepResult], RunReport]:
         """Fault-tolerant evaluation: ``(results, RunReport)``.
 
-        The grid runs through a :class:`ResilientRunner`: each config gets
+        The grid runs through a :class:`ResilientRunner`: each task gets
         its own ``submit()`` with an optional ``task_timeout`` deadline,
         transient failures retry up to ``retries`` times with exponential
         ``backoff``, a dead pool is rebuilt up to ``max_pool_rebuilds``
@@ -243,12 +263,28 @@ class ModelSweep:
         (with a :class:`RuntimeWarning`).  None of it can change results:
         per-config seeds are fixed by grid position.
 
+        ``chunk_size`` batches several grid cells into one pool task
+        (``"auto"`` spreads the remaining cells evenly over the workers).
+        Small sweeps of cheap configs are dominated by per-task IPC — the
+        measured source of the parallel-slower-than-serial regression on
+        low-core machines — and batching amortizes it.  Results are
+        bit-identical for every ``chunk_size``/worker combination because
+        each cell's seed is fixed by grid position; ``chunk_size`` does
+        not enter the checkpoint signature, so a resume may freely change
+        it.  ``None``/``1`` keeps the one-task-per-config schedule (finest
+        timeout/retry granularity).
+
+        When any configuration uses spatial sampling, the trace's
+        :class:`TracePlan` (batched hash column, per-rate sampled-index
+        cache) is built once and shared with every worker through the
+        shared-memory store, so no grid cell re-hashes the trace.
+
         ``checkpoint`` names a JSON-lines file: finished rows stream to it
         as they complete, and a rerun with the same sweep/trace skips the
         grid positions already on disk (resume).
         """
         seeds = self.config_seeds()
-        tasks = [
+        tasks: List[Tuple[int, SweepConfig, int, Optional[int]]] = [
             (i, cfg, seeds[i], max_size) for i, cfg in enumerate(self.configs)
         ]
 
@@ -259,31 +295,63 @@ class ModelSweep:
                 checkpoint, self._signature(trace, max_size)
             )
             completed = ckpt.load()
-        on_result = (lambda i, row: ckpt.append(row)) if ckpt else None
+
+        # One preparation pass for the whole grid: any sampling config
+        # makes the shared hash column worth building.
+        plan: Optional[TracePlan] = None
+        if any(cfg.sampling_rate is not None for cfg in self.configs):
+            plan = TracePlan.for_trace(trace)
 
         remaining = len(tasks) - len(completed)
         workers = resolve_workers(max_workers, remaining)
+        chunk = self._resolve_chunk_size(chunk_size, remaining, workers)
         runner = ResilientRunner(
-            _model_one,
+            _model_one if chunk <= 1 else _model_batch,
             max_workers=workers,
             initializer=_init_sweep_worker,
-            serial_setup=lambda: _install_trace(trace),
+            serial_setup=lambda: _install_trace(trace, plan),
             serial_teardown=lambda: _install_trace(None),
             task_timeout=task_timeout,
             retries=retries,
             backoff=backoff,
             max_pool_rebuilds=max_pool_rebuilds,
         )
-        if workers > 1 and remaining > 1:
-            with SharedTraceStore(trace) as store:
+        if chunk <= 1:
+            on_result = (lambda i, row: ckpt.append(row)) if ckpt else None
+            pool_tasks: Sequence[object] = tasks
+            pool_completed = completed
+        else:
+            on_result = (
+                (lambda i, rows: [ckpt.append(r) for r in rows])
+                if ckpt
+                else None
+            )
+            todo = [t for t in tasks if t[0] not in completed]
+            pool_tasks = [
+                tuple(todo[j : j + chunk]) for j in range(0, len(todo), chunk)
+            ]
+            pool_completed = {}
+        n_pool_tasks = len(pool_tasks) - len(pool_completed)
+        if workers > 1 and n_pool_tasks > 1:
+            with SharedTraceStore(trace, plan=plan) as store:
                 runner.initargs = (store.spec,)
                 rows, report = runner.run(
-                    tasks, completed=completed, on_result=on_result
+                    pool_tasks, completed=pool_completed, on_result=on_result
                 )
         else:
             rows, report = runner.run(
-                tasks, completed=completed, on_result=on_result
+                pool_tasks, completed=pool_completed, on_result=on_result
             )
+        if chunk > 1:
+            # Flatten chunk results and splice the resumed rows back in;
+            # the report's task entries describe chunk tasks, so surface
+            # the resumed-config count explicitly.
+            by_index = dict(completed)
+            for batch in rows:
+                for row in batch:
+                    by_index[row[0]] = row
+            rows = [by_index[i] for i in range(len(tasks))]
+            report.from_checkpoint = len(completed)
         results = [
             SweepResult(
                 config=self.configs[i],
@@ -297,11 +365,38 @@ class ModelSweep:
         ]
         return results, report
 
+    @staticmethod
+    def _resolve_chunk_size(
+        chunk_size: Union[None, int, str], remaining: int, workers: int
+    ) -> int:
+        """Effective cells-per-task: ``None``/1 -> 1, ``"auto"`` -> even split.
+
+        ``"auto"`` divides the remaining cells over the *usable* workers —
+        the requested count capped at the CPU count, because processes
+        beyond the core count add context-switching without parallelism
+        (the measured source of the small-sweep regression).  On a
+        one-core machine the whole grid therefore collapses into a single
+        in-process batch, which is the throughput-optimal schedule there.
+        """
+        if chunk_size is None:
+            return 1
+        if chunk_size == "auto":
+            usable = min(workers, os.cpu_count() or 1)
+            if usable <= 1 or remaining <= usable:
+                return max(1, remaining)
+            return -(-remaining // usable)  # ceil division
+        size = int(chunk_size)
+        if size < 1:
+            raise ValueError("chunk_size must be >= 1 (or 'auto')")
+        return size
+
     def _signature(self, trace: Trace, max_size: Optional[int]) -> dict:
-        """Checkpoint fingerprint: the sweep, its inputs, and the trace."""
-        crc = zlib.crc32(trace.keys.tobytes())
-        crc = zlib.crc32(trace.sizes.tobytes(), crc)
-        crc = zlib.crc32(trace.ops.tobytes(), crc)
+        """Checkpoint fingerprint: the sweep, its inputs, and the trace.
+
+        ``chunk_size`` and worker count are deliberately absent — they
+        cannot change results, so a resume may change them freely.
+        """
+        crc = trace_fingerprint(trace)
         return {
             "sweep_seed": self.seed,
             "max_size": max_size,

@@ -1,0 +1,85 @@
+"""Vectorized trace-preparation primitives.
+
+Everything here is a pure function of the key column: computed once per
+trace, cached by :class:`repro.engine.plan.TracePlan`, and shared across
+workers as zero-copy columns.  All outputs are plain ``int64`` arrays so
+they can live in a :class:`~repro.engine.shm.SharedTraceStore` block.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "chunk_occurrence_masks",
+    "factorize_keys",
+    "next_occurrence",
+    "prev_occurrence",
+]
+
+
+def factorize_keys(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Dense factorization: ``(unique_keys, key_ids)``.
+
+    ``key_ids`` maps every request to a compact id in ``[0, U)`` such that
+    ``unique_keys[key_ids] == keys``; one sort-based pass over the column.
+    """
+    unique_keys, inverse = np.unique(
+        np.ascontiguousarray(keys, dtype=np.int64), return_inverse=True
+    )
+    return unique_keys, np.ascontiguousarray(inverse, dtype=np.int64)
+
+
+def prev_occurrence(keys: np.ndarray) -> np.ndarray:
+    """Index of each request's previous access to the same key (-1 = cold).
+
+    Works on raw keys or dense ids alike: one stable argsort groups equal
+    keys while preserving request order within each group, so consecutive
+    entries of a group are consecutive occurrences.
+    """
+    keys = np.ascontiguousarray(keys, dtype=np.int64)
+    n = int(keys.shape[0])
+    prev = np.full(n, -1, dtype=np.int64)
+    if n > 1:
+        order = np.argsort(keys, kind="stable")
+        same = keys[order[1:]] == keys[order[:-1]]
+        prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def next_occurrence(keys: np.ndarray) -> np.ndarray:
+    """Index of each request's next access to the same key (``n`` = last)."""
+    keys = np.ascontiguousarray(keys, dtype=np.int64)
+    n = int(keys.shape[0])
+    nxt = np.full(n, n, dtype=np.int64)
+    if n > 1:
+        order = np.argsort(keys, kind="stable")
+        same = keys[order[1:]] == keys[order[:-1]]
+        nxt[order[:-1][same]] = order[1:][same]
+    return nxt
+
+
+def chunk_occurrence_masks(
+    prev: np.ndarray, nxt: np.ndarray, chunk_size: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-chunk first/last-occurrence masks for chunked kernels.
+
+    For a trace split into contiguous chunks of ``chunk_size`` requests,
+    returns boolean arrays ``(first_in_chunk, last_in_chunk)``:
+    ``first_in_chunk[i]`` is True iff request ``i`` is its key's first
+    occurrence within its own chunk (its previous occurrence, if any, lies
+    in an earlier chunk), and symmetrically for ``last_in_chunk``.  These
+    are exactly the boundary sets a chunk-local pass must reconcile with
+    global state.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    n = int(prev.shape[0])
+    if nxt.shape[0] != n:
+        raise ValueError("prev and nxt must have the same length")
+    starts = (np.arange(n, dtype=np.int64) // chunk_size) * chunk_size
+    first_in_chunk = prev < starts
+    last_in_chunk = nxt >= starts + chunk_size
+    return first_in_chunk, last_in_chunk

@@ -65,14 +65,26 @@ class SpatialSampler:
         """Sampling decision for one key."""
         return splitmix64(key, self.seed) % self.modulus < self.threshold
 
-    def mask(self, keys: np.ndarray) -> np.ndarray:
-        """Vectorized sampling decisions for an array of keys."""
-        h = splitmix64(np.asarray(keys, dtype=np.int64), self.seed)
+    def mask(self, keys: np.ndarray, hashes: Optional[np.ndarray] = None) -> np.ndarray:
+        """Vectorized sampling decisions for an array of keys.
+
+        ``hashes`` supplies a precomputed ``splitmix64(keys, seed)`` column
+        (e.g. a :class:`~repro.engine.plan.TracePlan` hash column) so the
+        keys are not re-hashed; it must have been built with this
+        sampler's seed.
+        """
+        h = (
+            hashes
+            if hashes is not None
+            else splitmix64(np.asarray(keys, dtype=np.int64), self.seed)
+        )
         return (h % np.uint64(self.modulus)) < np.uint64(self.threshold)
 
-    def filter_indices(self, keys: np.ndarray) -> np.ndarray:
+    def filter_indices(
+        self, keys: np.ndarray, hashes: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Indices of sampled requests within ``keys``."""
-        return np.flatnonzero(self.mask(keys))
+        return np.flatnonzero(self.mask(keys, hashes))
 
 
 def choose_rate(
@@ -130,7 +142,17 @@ class FixedSizeSpatialSampler:
 
     def offer(self, key: int) -> bool:
         """Present one reference; returns True if it should be processed."""
-        h = int(splitmix64(key, self.seed) % self.modulus)
+        return self.offer_hashed(key, int(splitmix64(key, self.seed)))
+
+    def offer_hashed(self, key: int, hashed: int) -> bool:
+        """:meth:`offer` with the key's ``splitmix64`` hash precomputed.
+
+        Lets batch consumers hash a whole key column vectorized (or reuse
+        a :class:`~repro.engine.plan.TracePlan` hash column) and stream
+        only the adaptive-threshold decision, which is inherently
+        sequential.
+        """
+        h = hashed % self.modulus
         if h >= self.threshold:
             return False
         if key not in self._tracked:

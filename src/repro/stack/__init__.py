@@ -5,6 +5,7 @@ from .histogram import ByteDistanceHistogram, DistanceHistogram
 from .lru_stack import (
     LinkedListLRUStack,
     TreeLRUStack,
+    lru_distance_arrays,
     lru_distance_stream,
     lru_histograms,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "opt_mrc",
     "krr_policy",
     "krr_stack",
+    "lru_distance_arrays",
     "lru_distance_stream",
     "lru_histograms",
     "lru_policy",

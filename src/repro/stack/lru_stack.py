@@ -12,21 +12,34 @@ Two independent implementations of Mattson's LRU stack:
 
 Both report object-granularity and byte-granularity distances and can run a
 whole trace into histograms via :func:`lru_distance_stream`.
+
+For whole traces there is a third, much faster route:
+:func:`lru_distance_arrays` computes every distance at once with the
+offline batch kernel (:func:`repro.kernels.batch_stack_distances` — whole-
+array NumPy, no per-access Python loop), and :func:`lru_histograms` uses it
+by default.  The streaming stacks remain the oracles the kernel is tested
+against, and the incremental path is still available via
+``vectorized=False``.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
 
 import numpy as np
 
+from ..kernels.olken import batch_stack_distances
 from ..workloads.trace import Trace
 from .fenwick import GrowableFenwick
 from .histogram import ByteDistanceHistogram, DistanceHistogram
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> stack)
+    from ..engine.plan import TracePlan
+
 __all__ = [
     "LinkedListLRUStack",
     "TreeLRUStack",
+    "lru_distance_arrays",
     "lru_distance_stream",
     "lru_histograms",
 ]
@@ -146,14 +159,46 @@ def lru_distance_stream(trace: Trace, use_tree: bool = True) -> Iterator[tuple[i
         yield stack.access(int(keys[i]), int(sizes[i]))
 
 
+def lru_distance_arrays(
+    trace: Trace, plan: Optional["TracePlan"] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact per-request ``(distances, byte_distances)`` for a whole trace.
+
+    One call into the offline Olken batch kernel
+    (:func:`repro.kernels.batch_stack_distances`); element ``i`` equals
+    what ``stack.access(keys[i], sizes[i])`` would have returned on either
+    streaming stack (cold accesses are ``(-1, -1)``).  ``plan`` supplies a
+    precomputed previous-occurrence column (e.g. from a shared
+    :class:`~repro.engine.plan.TracePlan`) so it is not rebuilt here.
+    """
+    prev = plan.prev_occurrence if plan is not None else None
+    return batch_stack_distances(trace.keys, trace.sizes, prev=prev)
+
+
 def lru_histograms(
     trace: Trace,
     use_tree: bool = True,
     byte_bin: int = 4096,
+    vectorized: bool = True,
+    plan: Optional["TracePlan"] = None,
 ) -> tuple[DistanceHistogram, ByteDistanceHistogram]:
-    """Run a trace through an exact LRU stack into both histograms."""
+    """Run a trace through an exact LRU stack into both histograms.
+
+    ``vectorized=True`` (default) computes every distance in one batch-
+    kernel call and fills the histograms with one ``bincount`` pass each —
+    bit-identical counts to the streaming path, typically >10x faster.
+    ``vectorized=False`` streams the trace through a
+    :class:`TreeLRUStack`/:class:`LinkedListLRUStack` (selected by
+    ``use_tree``) one access at a time; the equivalence is regression-
+    tested.
+    """
     obj_hist = DistanceHistogram()
     byte_hist = ByteDistanceHistogram(bin_bytes=byte_bin)
+    if vectorized:
+        distances, byte_distances = lru_distance_arrays(trace, plan=plan)
+        obj_hist.record_many(distances)
+        byte_hist.record_many(byte_distances.astype(np.float64))
+        return obj_hist, byte_hist
     for dist, byte_dist in lru_distance_stream(trace, use_tree=use_tree):
         obj_hist.record(dist if dist > 0 else 0)
         if dist > 0:

@@ -23,6 +23,32 @@ class TestHashing:
         for k, h in zip(keys, vec):
             assert splitmix64(int(k)) == int(h)
 
+    def test_scalar_path_is_pure_python_int(self):
+        """The scalar fast path must not allocate a NumPy array — and must
+        agree bit-for-bit with the array path across the full int64 range,
+        including negative keys (uint64 wraparound) and nonzero seeds."""
+        out = splitmix64(42)
+        assert type(out) is int
+        assert type(splitmix64(np.int64(42))) is int
+        rng = np.random.default_rng(123)
+        keys = rng.integers(
+            np.iinfo(np.int64).min, np.iinfo(np.int64).max, size=500
+        )
+        edge = np.array(
+            [0, -1, 1, np.iinfo(np.int64).min, np.iinfo(np.int64).max],
+            dtype=np.int64,
+        )
+        for seed in (0, 1, 7, 2**31):
+            for batch in (keys, edge):
+                vec = splitmix64(batch, seed)
+                for k, h in zip(batch.tolist(), vec.tolist()):
+                    assert splitmix64(k, seed) == h
+
+    def test_hash_to_unit_scalar_matches_vector(self):
+        vec = hash_to_unit(np.arange(32))
+        for k, u in zip(range(32), vec):
+            assert hash_to_unit(k) == u
+
     def test_uniformity(self):
         """Hashed sequential keys spread uniformly over [0, 1)."""
         u = hash_to_unit(np.arange(50_000))
