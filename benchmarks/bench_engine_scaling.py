@@ -1,14 +1,24 @@
-"""Engine scaling benchmark: batched hot path + parallel sweep throughput.
+"""Engine scaling benchmark: streaming engines + grid evaluation throughput.
 
 Measures, on a 500k-request zipf trace (50k objects, alpha=0.99):
 
-1. **Batched vs per-access modeling** — `KRRModel.process` through the
-   fused `access_many` hot path against a faithful replica of the original
-   per-access loop (`stack.access(int(keys[i]))` + per-request histogram
-   record, i.e. the pre-engine code path).
-2. **ModelSweep fan-out** — a 12-config (K x sampling-rate) grid run
-   serially and with 4 workers over the shared-memory trace store, with a
-   bit-identity check between the two grids.
+1. **Streaming engines** — `KRRModel.process` through (a) a faithful
+   replica of the original per-access loop (`stack.access(int(keys[i]))` +
+   per-request histogram record, i.e. the pre-engine code path), (b) the
+   fused scalar `access_many` batch path, and (c) the array-native SoA
+   engine (`engine="soa"`, native chain-walk kernel when a C compiler is
+   available).  All three must produce bit-identical curves.
+2. **MultiKRR one-pass grid** — the 12-config (K x sampling-rate) grid
+   evaluated in one streaming pass, bit-identity-checked against the
+   scalar-engine `ModelSweep` oracle.
+3. **ModelSweep fan-out** — the same grid run serially and with 4 workers
+   over the shared-memory trace store, with a bit-identity check.
+
+This run doubles as the CI perf gate (see ``_gate``): the SoA engine must
+never be slower than the legacy loop, must clear 5x when the native
+kernel is active, every engine/grid curve must be bit-identical, and the
+one-pass grid must stay under 3x the single-config SoA time.  Any
+violation makes the process exit nonzero.
 
 Writes machine-readable results to ``BENCH_engine.json`` at the repo root
 so future PRs can track the perf trajectory, plus a text summary under
@@ -61,8 +71,9 @@ def _legacy_process(model, trace):
     model.stats.cold_misses += cold
 
 
-def bench_batched(trace, seed=1):
+def bench_engines(trace, seed=1):
     from repro import KRRModel
+    from repro.stack import native_kernel_active
 
     n = len(trace)
     legacy_model = KRRModel(k=K, seed=seed)
@@ -70,25 +81,66 @@ def bench_batched(trace, seed=1):
     _legacy_process(legacy_model, trace)
     legacy_s = time.perf_counter() - t0
 
-    batched_model = KRRModel(k=K, seed=seed)
+    scalar_model = KRRModel(k=K, seed=seed)
     t0 = time.perf_counter()
-    batched_model.process(trace)
-    batched_s = time.perf_counter() - t0
+    scalar_model.process(trace, engine="scalar")
+    scalar_s = time.perf_counter() - t0
 
+    soa_model = KRRModel(k=K, seed=seed)
+    t0 = time.perf_counter()
+    soa_model.process(trace, engine="soa")
+    soa_s = time.perf_counter() - t0
+
+    legacy_curve = legacy_model.mrc().miss_ratios
     identical = bool(
-        np.array_equal(
-            legacy_model.mrc().miss_ratios, batched_model.mrc().miss_ratios
-        )
+        np.array_equal(legacy_curve, scalar_model.mrc().miss_ratios)
+        and np.array_equal(legacy_curve, soa_model.mrc().miss_ratios)
     )
     return {
         "requests": n,
         "k": K,
+        "native_kernel": bool(native_kernel_active()),
         "legacy_s": round(legacy_s, 4),
-        "batched_s": round(batched_s, 4),
-        "speedup": round(legacy_s / batched_s, 3),
+        "scalar_s": round(scalar_s, 4),
+        "soa_s": round(soa_s, 4),
         "legacy_requests_per_s": round(n / legacy_s),
-        "batched_requests_per_s": round(n / batched_s),
+        "scalar_requests_per_s": round(n / scalar_s),
+        "soa_requests_per_s": round(n / soa_s),
+        "scalar_speedup_vs_legacy": round(legacy_s / scalar_s, 3),
+        "soa_speedup_vs_legacy": round(legacy_s / soa_s, 3),
+        "soa_speedup_vs_scalar": round(scalar_s / soa_s, 3),
         "curves_identical": identical,
+    }
+
+
+def bench_multi_krr(trace, seed=3):
+    from repro.core.vkrr import MultiKRR
+    from repro.engine import ModelSweep
+
+    grid = MultiKRR.grid(ks=SWEEP_KS, sampling_rates=SWEEP_RATES, seed=seed)
+    t0 = time.perf_counter()
+    rows = grid.run(trace)
+    multi_s = time.perf_counter() - t0
+
+    # The scalar-engine serial sweep is the oracle: N fully independent
+    # KRRModel runs with the same spawned per-config seeds.
+    sweep = ModelSweep.grid(ks=SWEEP_KS, sampling_rates=SWEEP_RATES, seed=seed)
+    t0 = time.perf_counter()
+    oracle = sweep.run(trace, max_workers=1, engine="scalar")
+    oracle_s = time.perf_counter() - t0
+
+    identical = all(
+        np.array_equal(a.sizes, b.sizes)
+        and np.array_equal(a.miss_ratios, b.miss_ratios)
+        and a.swap_positions == b.swap_positions
+        for a, b in zip(oracle, rows)
+    )
+    return {
+        "n_configs": len(grid),
+        "multi_s": round(multi_s, 4),
+        "scalar_oracle_s": round(oracle_s, 4),
+        "speedup_vs_scalar_oracle": round(oracle_s / multi_s, 3),
+        "identical_to_scalar_oracle": bool(identical),
     }
 
 
@@ -119,6 +171,35 @@ def bench_sweep(trace, seed=3):
     }
 
 
+def _gate(payload):
+    """The CI perf contract; returns a list of failure strings."""
+    failures = []
+    eng = payload["engines"]
+    if not eng["curves_identical"]:
+        failures.append("engine curves differ (scalar/soa vs legacy loop)")
+    if eng["soa_requests_per_s"] < eng["legacy_requests_per_s"]:
+        failures.append(
+            f"SoA engine slower than legacy loop "
+            f"({eng['soa_requests_per_s']} < {eng['legacy_requests_per_s']} req/s)"
+        )
+    if eng["native_kernel"] and eng["soa_speedup_vs_legacy"] < 5.0:
+        failures.append(
+            f"native SoA speedup {eng['soa_speedup_vs_legacy']}x < 5x vs legacy"
+        )
+    multi = payload["multi_krr"]
+    if not multi["identical_to_scalar_oracle"]:
+        failures.append("MultiKRR grid differs from scalar ModelSweep oracle")
+    if multi["multi_s"] > 3.0 * max(eng["soa_s"], 1e-3):
+        failures.append(
+            f"MultiKRR {multi['n_configs']}-config grid took {multi['multi_s']}s "
+            f"> 3x single-config SoA time ({eng['soa_s']}s)"
+        )
+    swept = payload["model_sweep"]
+    if not swept["bit_identical_grids"]:
+        failures.append("serial and parallel sweep grids differ")
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -135,7 +216,8 @@ def main(argv=None):
     keys = zipf_trace_keys(n_objects, n_requests, 0.99, rng=1)
     trace = Trace(keys, name=f"zipf{n_requests // 1000}k")
 
-    batched = bench_batched(trace)
+    engines = bench_engines(trace)
+    multi = bench_multi_krr(trace)
     swept = bench_sweep(trace)
 
     payload = {
@@ -148,9 +230,12 @@ def main(argv=None):
             "n_objects": n_objects,
             "alpha": 0.99,
         },
-        "batched_process": batched,
+        "engines": engines,
+        "multi_krr": multi,
         "model_sweep": swept,
     }
+    failures = _gate(payload)
+    payload["gate_failures"] = failures
     out = REPO_ROOT / "BENCH_engine.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -158,16 +243,25 @@ def main(argv=None):
         f"trace: {n_requests} requests, {n_objects} objects (zipf 0.99), "
         f"{os.cpu_count()} cpu(s)",
         "",
-        "batched KRRModel.process vs per-access loop (K=5):",
-        f"  per-access  {batched['legacy_s']:8.2f}s  "
-        f"{batched['legacy_requests_per_s']:>10,} req/s",
-        f"  batched     {batched['batched_s']:8.2f}s  "
-        f"{batched['batched_requests_per_s']:>10,} req/s",
-        f"  speedup     {batched['speedup']:.2f}x  "
-        f"(curves identical: {batched['curves_identical']})",
+        f"streaming engines (K=5, native kernel: {engines['native_kernel']}):",
+        f"  per-access  {engines['legacy_s']:8.2f}s  "
+        f"{engines['legacy_requests_per_s']:>10,} req/s",
+        f"  scalar      {engines['scalar_s']:8.2f}s  "
+        f"{engines['scalar_requests_per_s']:>10,} req/s  "
+        f"({engines['scalar_speedup_vs_legacy']:.2f}x)",
+        f"  soa         {engines['soa_s']:8.2f}s  "
+        f"{engines['soa_requests_per_s']:>10,} req/s  "
+        f"({engines['soa_speedup_vs_legacy']:.2f}x)",
+        f"  curves identical: {engines['curves_identical']}",
         "",
-        f"ModelSweep {swept['n_configs']}-config grid "
+        f"MultiKRR one-pass {multi['n_configs']}-config grid "
         f"(K in {list(SWEEP_KS)}, R in {list(SWEEP_RATES)}):",
+        f"  one pass    {multi['multi_s']:8.2f}s",
+        f"  scalar orc  {multi['scalar_oracle_s']:8.2f}s  "
+        f"({multi['speedup_vs_scalar_oracle']:.2f}x)",
+        f"  identical to scalar oracle: {multi['identical_to_scalar_oracle']}",
+        "",
+        f"ModelSweep {swept['n_configs']}-config grid:",
         f"  serial      {swept['serial_s']:8.2f}s",
         f"  {swept['workers']} workers   {swept['parallel_s']:8.2f}s",
         f"  speedup     {swept['speedup']:.2f}x  "
@@ -175,8 +269,10 @@ def main(argv=None):
         "",
         f"wrote {out}",
     ]
+    if failures:
+        lines += ["", "PERF GATE FAILURES:"] + [f"  - {f}" for f in failures]
     write_result("bench_engine_scaling", "\n".join(lines))
-    return 0
+    return 1 if failures else 0
 
 
 def test_engine_scaling_quick(benchmark):

@@ -21,17 +21,25 @@ from .ttl_model import TTLAwareKRRModel
 from .windowed import WindowedKRRModel
 from .sizearray import SizeArray
 from .updates import (
+    DRAW_BLOCK,
     BackwardUpdate,
     LinearUpdate,
+    SurvivalTable,
     TopDownUpdate,
     apply_swaps,
+    backward_draw_block,
     make_strategy,
+    survival_table,
 )
+from .vkrr import GridConfig, GridResult, MultiKRR, spawn_seeds
 
 __all__ = [
     "BackwardUpdate",
     "DEFAULT_EXPONENT",
+    "DRAW_BLOCK",
     "FixedSizeKRRModel",
+    "GridConfig",
+    "GridResult",
     "KFRModel",
     "KFRStack",
     "KRRModel",
@@ -39,11 +47,14 @@ __all__ = [
     "KRRStack",
     "LinearUpdate",
     "ModelStats",
+    "MultiKRR",
     "SizeArray",
+    "SurvivalTable",
     "TTLAwareKRRModel",
     "WindowedKRRModel",
     "TopDownUpdate",
     "apply_swaps",
+    "backward_draw_block",
     "corrected_k",
     "eviction_cdf",
     "eviction_prob_with_replacement",
@@ -55,7 +66,9 @@ __all__ = [
     "make_strategy",
     "model_trace",
     "no_swap_probability_interval",
+    "spawn_seeds",
     "stay_probability",
+    "survival_table",
     "swap_probability",
     "uncorrected_k",
 ]

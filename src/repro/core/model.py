@@ -34,6 +34,7 @@ from ..mrc.builder import from_byte_histogram, from_distance_histogram
 from ..mrc.curve import MissRatioCurve
 from ..sampling.spatial import SpatialSampler, choose_rate
 from ..stack.histogram import ByteDistanceHistogram, DistanceHistogram
+from ..stack.soa import SOA_STRATEGIES, SoAKRRStack
 from ..workloads.trace import Trace
 from .correction import DEFAULT_EXPONENT, corrected_k
 from .krr import KRRStack
@@ -132,6 +133,11 @@ class KRRModel:
             track_sizes=track_sizes,
             size_array_base=size_array_base,
         )
+        # The SoA engine shares self._rng and is built lazily: strategy
+        # draw buffers only fill on first use, so whichever engine touches
+        # the generator first owns the (identical) stream.
+        self._soa: Optional[SoAKRRStack] = None
+        self._engine: Optional[str] = None
         scale = self._sampler.scale if self._sampler else 1.0
         self._obj_hist = DistanceHistogram(scale=scale)
         self._byte_hist = (
@@ -150,6 +156,41 @@ class KRRModel:
     def tracks_sizes(self) -> bool:
         return self._stack.tracks_sizes
 
+    @property
+    def engine(self) -> Optional[str]:
+        """The resolved streaming engine (None until the first request)."""
+        return self._engine
+
+    def _resolve_engine(self, engine: str) -> str:
+        """Validate and pin the engine; it is sticky once draws started."""
+        if engine not in ("auto", "scalar", "soa"):
+            raise ValueError(f"unknown engine {engine!r}")
+        soa_capable = (
+            self._strategy_name in SOA_STRATEGIES and not self.tracks_sizes
+        )
+        if engine == "auto":
+            if self._engine is not None:
+                return self._engine  # stay on whatever already drew
+            engine = "soa" if soa_capable else "scalar"
+        elif engine == "soa" and not soa_capable:
+            if self.tracks_sizes:
+                raise ValueError(
+                    "engine='soa' does not track byte distances; "
+                    "use engine='scalar' with track_sizes=True"
+                )
+            raise ValueError(
+                f"engine='soa' supports strategies {SOA_STRATEGIES}, "
+                f"not {self._strategy_name!r}"
+            )
+        if self._engine is None:
+            self._engine = engine
+        elif self._engine != engine:
+            raise RuntimeError(
+                f"model already streamed through engine={self._engine!r}; "
+                "engines share one RNG stream and cannot be switched mid-run"
+            )
+        return self._engine
+
     def _resolve_auto_sampler(self, trace: Trace) -> None:
         rate = choose_rate(max(1, trace.unique_objects()))
         self._sampler = SpatialSampler(rate)
@@ -159,7 +200,8 @@ class KRRModel:
 
     # ------------------------------------------------------------------
     def access(self, key: int, size: int = 1) -> None:
-        """Stream one request into the model."""
+        """Stream one request into the model (always the scalar engine)."""
+        self._resolve_engine("scalar")
         if self._auto_rate and self._sampler is None:
             # Streaming use without a trace: fall back to the default rate.
             self._sampler = SpatialSampler(0.001)
@@ -182,14 +224,36 @@ class KRRModel:
                 self._byte_hist.record(byte_dist)
 
     def process(
-        self, trace: Trace, plan: Optional["TracePlan"] = None
+        self,
+        trace: Trace,
+        plan: Optional["TracePlan"] = None,
+        engine: str = "auto",
     ) -> "KRRResult":
         """Feed a whole trace through the batched hot path and snapshot.
 
-        Three batch passes replace the per-access loop: the spatial filter
-        is applied to the key column vectorized, the surviving columns are
-        converted to Python lists once (NumPy scalar unboxing inside the
-        stack loop is ~10x slower) and fed to
+        ``engine`` selects the streaming implementation:
+
+        * ``"scalar"`` — the fused per-access loop over the boxed
+          :class:`~repro.core.krr.KRRStack` (supports every strategy and
+          byte tracking).
+        * ``"soa"`` — the array-native
+          :class:`~repro.stack.soa.SoAKRRStack` (backward/linear only,
+          object granularity only; an order of magnitude faster when the
+          native kernel is available).
+        * ``"auto"`` (default) — ``"soa"`` whenever this model's
+          configuration supports it, else ``"scalar"``.
+
+        Both engines consume the model seed's stream in the identical
+        refill pattern and apply the identical update arithmetic, so the
+        choice is **bit-invisible**: distances, histograms and counters
+        match draw for draw (property-tested in ``tests/test_soa_engine``).
+        The engine is sticky per model — both share one generator, so
+        switching mid-run would desynchronize the stream and is refused.
+
+        On the scalar engine, three batch passes replace the per-access
+        loop: the spatial filter is applied to the key column vectorized,
+        the surviving columns are converted to Python lists once (NumPy
+        scalar unboxing inside the stack loop is ~10x slower) and fed to
         :meth:`KRRStack.access_many`, and the resulting distance batch is
         recorded into the histograms with one ``bincount`` pass each.
         Statistically identical to streaming :meth:`access` per request
@@ -198,14 +262,17 @@ class KRRModel:
         ``plan`` supplies a :class:`~repro.engine.plan.TracePlan` for this
         trace; its cached hash column and per-rate sampled-index cache
         replace the filter's hash pass entirely (the sweep engine shares
-        one plan across every grid cell and worker).  The selected indices
-        are identical either way.
+        one plan across every grid cell and worker), and on the SoA
+        engine its cached factorization also replaces the stack's key
+        interning.  The selected indices are identical either way.
         """
+        engine = self._resolve_engine(engine)
         if self._auto_rate and self._sampler is None:
             self._resolve_auto_sampler(trace)
         keys = trace.keys
         sizes = trace.sizes
         self.stats.requests_seen += int(keys.shape[0])
+        idx: Optional[np.ndarray] = None
         if self._sampler is not None:
             if plan is not None:
                 idx = plan.sample_indices(
@@ -218,19 +285,50 @@ class KRRModel:
             keys = keys[idx]
             sizes = sizes[idx]
         self.stats.requests_sampled += int(keys.shape[0])
-        distances, byte_distances = self._stack.access_many(
-            keys.tolist(), sizes.tolist()
-        )
-        self._obj_hist.record_many(distances)
-        if self._byte_hist is not None:
-            self._byte_hist.record_many(byte_distances)
-        self.stats.cold_misses += distances.count(-1)
+        if engine == "soa":
+            self._process_soa(keys, sizes, plan, idx)
+        else:
+            distances, byte_distances = self._stack.access_many(
+                keys.tolist(), sizes.tolist()
+            )
+            self._obj_hist.record_many(distances)
+            if self._byte_hist is not None:
+                self._byte_hist.record_many(byte_distances)
+            self.stats.cold_misses += distances.count(-1)
         self._sync_stats()
         return self.result()
 
+    def _process_soa(
+        self,
+        keys: np.ndarray,
+        sizes: np.ndarray,
+        plan: Optional["TracePlan"],
+        idx: Optional[np.ndarray],
+    ) -> None:
+        """SoA half of :meth:`process`: flat-array stack, numpy distances."""
+        if self._soa is None:
+            self._soa = SoAKRRStack(
+                self.effective_k, strategy=self._strategy_name, rng=self._rng
+            )
+        stack = self._soa
+        use_plan_ids = plan is not None and not stack.has_interned_keys
+        if use_plan_ids:
+            assert plan is not None
+            kids = plan.key_ids if idx is None else plan.key_ids[idx]
+            distances = stack.access_many_ids(
+                np.ascontiguousarray(kids, dtype=np.int64),
+                plan.unique_keys,
+                sizes,
+            )
+        else:
+            distances, _ = stack.access_many(keys, sizes)
+        self._obj_hist.record_many(distances)
+        self.stats.cold_misses += int(np.count_nonzero(distances == -1))
+
     def _sync_stats(self) -> None:
-        self.stats.stack_updates = self._stack.updates
-        self.stats.swap_positions = self._stack.total_swaps
+        stack = self._soa if self._soa is not None else self._stack
+        self.stats.stack_updates = stack.updates
+        self.stats.swap_positions = stack.total_swaps
 
     # ------------------------------------------------------------------
     def mrc(self, max_size: int | None = None, label: str | None = None) -> MissRatioCurve:

@@ -20,7 +20,7 @@ The equivalence of the three distributions is property-tested in
 
 from __future__ import annotations
 
-from typing import List, Protocol
+from typing import Dict, List, Protocol
 
 import numpy as np
 
@@ -28,13 +28,97 @@ from .._util import RngLike, ensure_rng
 
 __all__ = [
     "BackwardUpdate",
+    "DRAW_BLOCK",
     "LinearUpdate",
+    "SurvivalTable",
     "TopDownUpdate",
     "UpdateStrategy",
     "apply_swaps",
+    "backward_draw_block",
     "make_strategy",
+    "survival_table",
 ]
 
+
+#: Draw-buffer block size shared by every consumer of a strategy's RNG
+#: stream.  The scalar strategies and the SoA engine
+#: (:mod:`repro.stack.soa`) both refill in blocks of exactly this many
+#: ``Generator.random`` draws, which is what makes their consumption
+#: patterns — and therefore their results — bit-identical.
+DRAW_BLOCK = 4096
+
+
+def backward_draw_block(
+    rng: np.random.Generator, inv_k: float, block: int = DRAW_BLOCK
+) -> np.ndarray:
+    """One backward-update draw block: ``(1 - U)^(1/K)`` for a uniform block.
+
+    The inverse-CDF power is pre-applied to the whole block at once (the
+    vectorized ``u^(1/K)`` is ~20x cheaper than scalar ``pow`` in the
+    chain loop).  This is the *single* source of backward-update draws:
+    :class:`BackwardUpdate` serves the block as Python floats and the SoA
+    engine consumes the array directly, so for the same generator state
+    both paths see exactly the same IEEE-754 values in the same order.
+    """
+    u = 1.0 - rng.random(block)  # uniform on (0, 1]
+    out = u**inv_k
+    assert isinstance(out, np.ndarray)
+    return out
+
+
+class SurvivalTable:
+    """Per-K cache of the linear-update survival probabilities.
+
+    Position ``i`` of the stack survives a reference (keeps its resident)
+    with probability ``((i-1)/i)^K`` (Eq. 4.1); the values depend only on
+    ``(i, K)``, so one grow-on-demand table per ``K`` serves every
+    consumer.  :meth:`as_list` feeds the scalar :class:`LinearUpdate`
+    sweep (Python floats, shared list identity so growth is free) and
+    :meth:`as_array` feeds the vectorized SoA path; both views expose the
+    *same* float64 values, computed once, so survival comparisons agree
+    bit-for-bit across engines.
+
+    Entries 0 and 1 are 0.0: positions below 2 are never drawn against.
+    """
+
+    __slots__ = ("k", "_values", "_array")
+
+    def __init__(self, k: float) -> None:
+        if k <= 0:
+            raise ValueError("K must be positive")
+        self.k = float(k)
+        self._values: List[float] = [0.0, 0.0]
+        self._array = np.asarray(self._values, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def as_list(self, n: int) -> List[float]:
+        """The shared value list, grown to cover positions ``< n``."""
+        values = self._values
+        if n > len(values):
+            k = self.k
+            values.extend(((i - 1) / i) ** k for i in range(len(values), n))
+        return values
+
+    def as_array(self, n: int) -> np.ndarray:
+        """Array view of the same values, grown to cover positions ``< n``."""
+        values = self.as_list(n)
+        if self._array.shape[0] < len(values):
+            self._array = np.asarray(values, dtype=np.float64)
+        return self._array
+
+
+_SURVIVAL_TABLES: Dict[float, SurvivalTable] = {}
+
+
+def survival_table(k: float) -> SurvivalTable:
+    """The process-wide shared :class:`SurvivalTable` for sampling size ``k``."""
+    table = _SURVIVAL_TABLES.get(float(k))
+    if table is None:
+        table = SurvivalTable(k)
+        _SURVIVAL_TABLES[float(k)] = table
+    return table
 
 
 class _BufferedUniform:
@@ -43,16 +127,19 @@ class _BufferedUniform:
     Per-call overhead of ``Generator.random()`` dominates the fast updates;
     refilling a block and serving *Python* floats (``tolist`` strips the
     NumPy scalar wrapper, whose arithmetic is ~10x slower) keeps draws cheap
-    while preserving seeded reproducibility.
+    while preserving seeded reproducibility.  The first block is drawn
+    lazily on first use, so constructing a strategy consumes no generator
+    state (the engine selector in :class:`~repro.core.model.KRRModel`
+    relies on this to hand the untouched generator to either engine).
     """
 
     __slots__ = ("_rng", "_buf", "_pos", "_block")
 
-    def __init__(self, rng: np.random.Generator, block: int = 4096) -> None:
+    def __init__(self, rng: np.random.Generator, block: int = DRAW_BLOCK) -> None:
         self._rng = rng
         self._block = block
-        self._buf = rng.random(block).tolist()
-        self._pos = 0
+        self._buf: List[float] = []
+        self._pos = block  # forces a refill on first draw
 
     def __call__(self) -> float:
         pos = self._pos
@@ -84,21 +171,18 @@ class LinearUpdate:
         self.k = float(k)
         self._uniform = _BufferedUniform(ensure_rng(rng))
         # Survival probabilities ((i-1)/i)^K depend only on the position,
-        # not the access: cache them (grow-on-demand, indexed by position)
-        # instead of paying one pow() per position per access.
-        self._survival: List[float] = [0.0, 0.0]  # positions 0/1 never drawn
+        # not the access: the process-wide shared table caches them
+        # (grow-on-demand, indexed by position) instead of paying one
+        # pow() per position per access — and the SoA engine compares
+        # against the very same values.
+        self._table = survival_table(self.k)
 
     def swap_positions(self, phi: int) -> List[int]:
         if phi < 1:
             raise ValueError("phi must be >= 1")
         if phi == 1:
             return [1]
-        survival = self._survival
-        if phi > len(survival):
-            k = self.k
-            survival.extend(
-                ((i - 1) / i) ** k for i in range(len(survival), phi)
-            )
+        survival = self._table.as_list(phi)
         swaps = [1]
         u = self._uniform
         for i in range(2, phi):
@@ -120,7 +204,7 @@ class BackwardUpdate:
 
     name = "backward"
 
-    _BLOCK = 4096
+    _BLOCK = DRAW_BLOCK
 
     def __init__(self, k: float, rng: RngLike = None) -> None:
         if k <= 0:
@@ -128,16 +212,18 @@ class BackwardUpdate:
         self.k = float(k)
         self._inv_k = 1.0 / float(k)
         self._rng = ensure_rng(rng)
+        # The first block is drawn lazily (pos == _BLOCK forces a refill
+        # on first use): constructing the strategy consumes no generator
+        # state, so an engine selector can still hand the untouched
+        # generator to the SoA path.
         self._buf: List[float] = []
-        self._pos = 0
+        self._pos = self._BLOCK
         self._refills = -1  # first _refill() brings it to 0
-        self._refill()
 
     def _refill(self) -> None:
-        # Pre-apply the inverse-CDF power to a whole block at once: the
-        # vectorized u^(1/K) is ~20x cheaper than scalar pow in the loop.
-        u = 1.0 - self._rng.random(self._BLOCK)  # uniform on (0, 1]
-        self._buf = (u**self._inv_k).tolist()
+        # One shared inverse-CDF block transform (see backward_draw_block);
+        # served as Python floats for the scalar chain loop.
+        self._buf = backward_draw_block(self._rng, self._inv_k, self._BLOCK).tolist()
         self._pos = 0
         self._refills += 1
 

@@ -34,6 +34,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.model import KRRModel
+from ..core.vkrr import spawn_seeds
 from ..mrc.builder import from_points
 from ..mrc.curve import MissRatioCurve
 from ..workloads.trace import Trace
@@ -115,10 +116,10 @@ def _install_trace(
 
 
 def _model_one(
-    args: Tuple[int, SweepConfig, int, Optional[int]]
+    args: Tuple[int, SweepConfig, int, Optional[int], str]
 ) -> Tuple[int, np.ndarray, np.ndarray, str, dict]:
     """Run one configuration against the worker's trace; return raw arrays."""
-    index, config, seed, max_size = args
+    index, config, seed, max_size, engine = args
     maybe_inject(index)
     trace = _WORKER_TRACE
     if trace is None:  # pragma: no cover - initializer contract violation
@@ -131,7 +132,7 @@ def _model_one(
         track_sizes=config.track_sizes,
         seed=seed,
     )
-    result = model.process(trace, plan=_WORKER_PLAN)
+    result = model.process(trace, plan=_WORKER_PLAN, engine=engine)
     if config.track_sizes:
         curve = result.byte_mrc()
         unit = "bytes"
@@ -150,7 +151,7 @@ def _model_one(
 
 
 def _model_batch(
-    payloads: Tuple[Tuple[int, SweepConfig, int, Optional[int]], ...]
+    payloads: Tuple[Tuple[int, SweepConfig, int, Optional[int], str], ...]
 ) -> List[Tuple[int, np.ndarray, np.ndarray, str, dict]]:
     """Run several grid cells in one worker round-trip (task batching).
 
@@ -213,12 +214,13 @@ class ModelSweep:
         return len(self.configs)
 
     def config_seeds(self) -> List[int]:
-        """Per-configuration model seeds, fixed by grid position."""
-        root = np.random.SeedSequence(self.seed)
-        return [
-            int(child.generate_state(1, dtype=np.uint64)[0] >> np.uint64(1))
-            for child in root.spawn(len(self.configs))
-        ]
+        """Per-configuration model seeds, fixed by grid position.
+
+        Delegates to :func:`repro.core.vkrr.spawn_seeds` — the shared
+        derivation — so a :class:`~repro.core.vkrr.MultiKRR` grid over the
+        same configuration list draws identical per-cell streams.
+        """
+        return spawn_seeds(len(self.configs), self.seed)
 
     def run(
         self,
@@ -233,7 +235,7 @@ class ModelSweep:
         ``max_workers=1`` runs serially in-process (no pool, no shared
         memory).  Either way the miss-ratio grids are bit-identical.
         Keyword arguments (``task_timeout``, ``retries``, ``checkpoint``,
-        ...) are forwarded to :meth:`run_with_report`.
+        ``engine``, ...) are forwarded to :meth:`run_with_report`.
         """
         results, _ = self.run_with_report(
             trace, max_workers=max_workers, max_size=max_size, **runner_kwargs
@@ -252,6 +254,7 @@ class ModelSweep:
         max_pool_rebuilds: int = 3,
         checkpoint: Union[str, Path, None] = None,
         chunk_size: Union[None, int, str] = None,
+        engine: str = "auto",
     ) -> Tuple[List[SweepResult], RunReport]:
         """Fault-tolerant evaluation: ``(results, RunReport)``.
 
@@ -282,10 +285,19 @@ class ModelSweep:
         ``checkpoint`` names a JSON-lines file: finished rows stream to it
         as they complete, and a rerun with the same sweep/trace skips the
         grid positions already on disk (resume).
+
+        ``engine`` selects each cell's streaming implementation
+        (``"scalar"``, ``"soa"``, or ``"auto"``; see
+        :meth:`KRRModel.process`).  Like ``chunk_size`` it cannot change
+        results — both engines are draw-for-draw identical — so it is
+        absent from the checkpoint signature and a resume may switch it.
         """
+        if engine not in ("auto", "scalar", "soa"):
+            raise ValueError(f"unknown engine {engine!r}")
         seeds = self.config_seeds()
-        tasks: List[Tuple[int, SweepConfig, int, Optional[int]]] = [
-            (i, cfg, seeds[i], max_size) for i, cfg in enumerate(self.configs)
+        tasks: List[Tuple[int, SweepConfig, int, Optional[int], str]] = [
+            (i, cfg, seeds[i], max_size, engine)
+            for i, cfg in enumerate(self.configs)
         ]
 
         ckpt: Optional[SweepCheckpoint] = None

@@ -56,9 +56,20 @@ class CacheSimulator(Protocol):
 
 
 def run_trace(sim: CacheSimulator, trace: Trace) -> CacheStats:
-    """Run a whole trace through a simulator; returns its stats."""
+    """Run a whole trace through a simulator; returns its stats.
+
+    Simulators that expose a batched ``access_many(keys, sizes)`` (e.g.
+    :class:`~repro.simulator.klru.KLRUCache`) get the whole columns in one
+    call — the batch path is required to consume its RNG draw-for-draw
+    like per-access streaming, so stats and final residency are identical
+    either way.  Everything else falls back to the per-access loop.
+    """
     keys = trace.keys
     sizes = trace.sizes
+    access_many = getattr(sim, "access_many", None)
+    if access_many is not None:
+        access_many(keys, sizes)
+        return sim.stats
     access = sim.access
     for i in range(keys.shape[0]):
         access(int(keys[i]), int(sizes[i]))

@@ -14,6 +14,7 @@ These simulators are the ground truth the KRR model is validated against
 from __future__ import annotations
 
 import random
+from typing import Sequence
 
 from .._util import RngLike, check_positive, check_sampling_size, ensure_rng
 from .base import CacheStats
@@ -106,6 +107,76 @@ class KLRUCache:
         self._last_access[key] = self._clock
         return False
 
+    def access_many(
+        self, keys: Sequence[int], sizes: Sequence[int] | None = None
+    ) -> list[bool]:
+        """Batched :meth:`access`; returns the per-request hit flags.
+
+        One flat loop with every attribute lookup hoisted and the
+        resident-set bookkeeping inlined — the simulator's ground-truth
+        sweeps spend their time here.  The PRNG is consumed in exactly
+        the per-access order (one ``randrange`` per with-replacement draw,
+        one ``sample`` per distinct draw), so stats, evictions and final
+        residency are identical to streaming the requests one by one.
+        ``sizes`` is accepted for interface symmetry and ignored, as in
+        :meth:`access`.
+        """
+        key_list = keys.tolist() if hasattr(keys, "tolist") else list(keys)
+        res_keys = self._residents.keys
+        res_index = self._residents.index
+        last = self._last_access
+        rnd = self._rnd
+        randrange = rnd.randrange
+        capacity = self.capacity
+        k = self.k
+        with_replacement = self.with_replacement
+        clock = self._clock
+        hits = 0
+        evictions = 0
+        out: list[bool] = []
+        record = out.append
+        for key in key_list:
+            clock += 1
+            if key in res_index:
+                last[key] = clock
+                hits += 1
+                record(True)
+                continue
+            record(False)
+            if len(res_keys) >= capacity:
+                n = len(res_keys)
+                if with_replacement:
+                    victim = res_keys[randrange(n)]
+                    vt = last[victim]
+                    for _ in range(k - 1):
+                        cand = res_keys[randrange(n)]
+                        ct = last[cand]
+                        if ct < vt:
+                            victim, vt = cand, ct
+                else:
+                    victim = None
+                    vt = None
+                    for i in rnd.sample(range(n), k if k < n else n):
+                        cand = res_keys[i]
+                        ct = last[cand]
+                        if vt is None or ct < vt:
+                            victim, vt = cand, ct
+                i = res_index.pop(victim)
+                moved = res_keys.pop()
+                if moved != victim:
+                    res_keys[i] = moved
+                    res_index[moved] = i
+                del last[victim]
+                evictions += 1
+            res_index[key] = len(res_keys)
+            res_keys.append(key)
+            last[key] = clock
+        self._clock = clock
+        self.stats.hits += hits
+        self.stats.misses += len(key_list) - hits
+        self.stats.evictions += evictions
+        return out
+
     def _evict_one(self) -> None:
         residents = self._residents.keys
         n = len(residents)
@@ -193,6 +264,15 @@ class ByteKLRUCache:
         self._used += size
         self._evict_until_fits(protect=key)
         return False
+
+    def access_many(
+        self, keys: Sequence[int], sizes: Sequence[int]
+    ) -> list[bool]:
+        """Batched :meth:`access` (draw-for-draw identical to streaming)."""
+        key_list = keys.tolist() if hasattr(keys, "tolist") else list(keys)
+        size_list = sizes.tolist() if hasattr(sizes, "tolist") else list(sizes)
+        access = self.access
+        return [access(key, size) for key, size in zip(key_list, size_list)]
 
     def _evict_until_fits(self, protect: int | None = None) -> None:
         while self._used > self.capacity_bytes and len(self._residents) > 1:

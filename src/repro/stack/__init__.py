@@ -1,5 +1,6 @@
 """Stack-algorithm substrate: Mattson framework, exact LRU oracles, histograms."""
 
+from ._native import native_kernel_active
 from .fenwick import FenwickTree, GrowableFenwick
 from .histogram import ByteDistanceHistogram, DistanceHistogram
 from .lru_stack import (
@@ -27,6 +28,7 @@ from .priority_stack import (
     opt_distances,
     opt_mrc,
 )
+from .soa import SOA_STRATEGIES, SoAKRRStack
 
 __all__ = [
     "ByteDistanceHistogram",
@@ -37,6 +39,8 @@ __all__ = [
     "LinkedListLRUStack",
     "OrderStatisticTreap",
     "PriorityStack",
+    "SOA_STRATEGIES",
+    "SoAKRRStack",
     "TreeLRUStack",
     "lfu_distances",
     "lfu_mrc",
@@ -50,6 +54,7 @@ __all__ = [
     "lru_histograms",
     "lru_policy",
     "lru_stack",
+    "native_kernel_active",
     "rr_policy",
     "rr_stack",
 ]

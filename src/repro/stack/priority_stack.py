@@ -3,10 +3,10 @@
 :class:`GenericStack` in :mod:`repro.stack.mattson` models *probabilistic*
 policies (its maxPriority is a Bernoulli draw).  This module is the exact,
 comparison-based counterpart for deterministic priority policies — the
-class Mattson's original paper covers and Bilardi et al.'s Min-Tree work
-(§6.2) optimizes.  ``maxPriority`` compares real priority values; the full
-linear update is performed, so distances are exact for any policy whose
-priorities satisfy the framework:
+policy class covered by Mattson's original paper and optimized by Bilardi
+et al.'s Min-Tree work (§6.2).  ``maxPriority`` compares real priority
+values; the full linear update is performed, so distances are exact for
+any policy whose priorities satisfy the framework:
 
 * **OPT** (Belady) — priority = sooner next use wins (needs the future;
   we precompute next-use times from the trace).

@@ -1,0 +1,139 @@
+"""MultiKRR grid evaluator: one pass, bit-identical to N independent runs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import KRRModel
+from repro.core.vkrr import GridConfig, MultiKRR, spawn_seeds
+from repro.engine.sweep import ModelSweep, SweepConfig
+from repro.workloads.trace import Trace
+
+
+def make_trace(n=4_000, u=300, seed=2):
+    rng = np.random.default_rng(seed)
+    return Trace(rng.integers(0, u, size=n), name=f"grid{seed}")
+
+
+class TestSeeding:
+    def test_spawn_seeds_matches_model_sweep(self):
+        sweep = ModelSweep.grid(ks=[1, 2, 5], sampling_rates=[None, 0.1], seed=99)
+        grid = MultiKRR.grid(ks=[1, 2, 5], sampling_rates=[None, 0.1], seed=99)
+        assert sweep.config_seeds() == grid.config_seeds()
+        assert grid.config_seeds() == spawn_seeds(6, 99)
+
+    def test_seeds_fixed_by_position(self):
+        assert spawn_seeds(4, 7)[:2] == spawn_seeds(2, 7)
+
+
+class TestGridIdentity:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        strategy=st.sampled_from(["backward", "linear"]),
+        trace_seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_grid_matches_independent_models(self, seed, strategy, trace_seed):
+        """Every cell of a MultiKRR run equals a standalone KRRModel.process
+        with the matching spawned seed — including the rate=1.0 and K=1
+        corner cells."""
+        trace = make_trace(n=1_500, u=120, seed=trace_seed)
+        ks = [1, 4]
+        rates = [None, 1.0, 0.5]
+        grid = MultiKRR.grid(ks, strategies=[strategy], sampling_rates=rates, seed=seed)
+        results = grid.run(trace, chunk_size=701)
+        seeds = grid.config_seeds()
+        for i, (cfg, res) in enumerate(zip(grid.configs, results)):
+            model = KRRModel(
+                k=cfg.k,
+                strategy=cfg.strategy,
+                sampling_rate=cfg.sampling_rate,
+                seed=seeds[i],
+            )
+            model.process(trace)
+            curve = model.mrc()
+            assert np.array_equal(curve.sizes, res.sizes)
+            assert np.array_equal(curve.miss_ratios, res.miss_ratios)
+            assert model.stats.requests_seen == res.requests_seen
+            assert model.stats.requests_sampled == res.requests_sampled
+            assert model.stats.cold_misses == res.cold_misses
+            assert model.stats.stack_updates == res.stack_updates
+            assert model.stats.swap_positions == res.swap_positions
+
+    def test_grid_matches_model_sweep_serial(self):
+        trace = make_trace()
+        kwargs = dict(
+            ks=[1, 2, 5],
+            strategies=("backward", "linear"),
+            sampling_rates=(None, 0.1),
+            seed=13,
+        )
+        sweep_rows = ModelSweep.grid(**kwargs).run(trace, max_workers=1)
+        grid_rows = MultiKRR.grid(**kwargs).run(trace)
+        assert len(sweep_rows) == len(grid_rows)
+        for a, b in zip(sweep_rows, grid_rows):
+            assert a.config.label() == b.config.label()
+            assert np.array_equal(a.sizes, b.sizes)
+            assert np.array_equal(a.miss_ratios, b.miss_ratios)
+            assert a.swap_positions == b.swap_positions
+
+    def test_chunk_size_cannot_change_results(self):
+        trace = make_trace(seed=9)
+        grid = MultiKRR.grid([3], sampling_rates=[None, 0.2], seed=1)
+        base = grid.run(trace, chunk_size=10_000)
+        for chunk in (1, 37, 999):
+            rows = MultiKRR.grid([3], sampling_rates=[None, 0.2], seed=1).run(
+                trace, chunk_size=chunk
+            )
+            for a, b in zip(base, rows):
+                assert np.array_equal(a.miss_ratios, b.miss_ratios)
+
+    def test_max_size_caps_curve(self):
+        trace = make_trace()
+        rows = MultiKRR.grid([2], seed=0).run(trace, max_size=50)
+        assert rows[0].sizes[-1] == 50
+
+
+class TestValidation:
+    def test_accepts_sweep_configs_directly(self):
+        trace = make_trace()
+        cfgs = [SweepConfig(k=2), SweepConfig(k=5, sampling_rate=0.5)]
+        rows = MultiKRR(cfgs, seed=3).run(trace)
+        assert rows[0].config is cfgs[0]
+        assert rows[1].requests_sampled < rows[1].requests_seen
+
+    def test_rejects_topdown_and_track_sizes(self):
+        with pytest.raises(ValueError):
+            MultiKRR([GridConfig(strategy="topdown")])
+        with pytest.raises(ValueError):
+            MultiKRR([SweepConfig(track_sizes=True)])
+
+    def test_rejects_empty_grid_and_bad_chunk(self):
+        with pytest.raises(ValueError):
+            MultiKRR([])
+        with pytest.raises(ValueError):
+            MultiKRR.grid([2]).run(make_trace(), chunk_size=0)
+
+    def test_result_mrc_roundtrip(self):
+        rows = MultiKRR.grid([2], seed=0).run(make_trace())
+        curve = rows[0].mrc()
+        assert curve.label == "K=2/backward/full"
+        assert curve.sizes.shape == rows[0].sizes.shape
+
+
+class TestSweepEngineOption:
+    def test_sweep_engine_soa_equals_scalar(self):
+        trace = make_trace(seed=4)
+        kwargs = dict(ks=[1, 3], sampling_rates=[None, 0.5], seed=21)
+        rows_scalar = ModelSweep.grid(**kwargs).run(
+            trace, max_workers=1, engine="scalar"
+        )
+        rows_soa = ModelSweep.grid(**kwargs).run(trace, max_workers=1, engine="soa")
+        for a, b in zip(rows_scalar, rows_soa):
+            assert np.array_equal(a.miss_ratios, b.miss_ratios)
+            assert a.swap_positions == b.swap_positions
+
+    def test_sweep_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            ModelSweep.grid(ks=[2]).run(make_trace(), engine="gpu")
