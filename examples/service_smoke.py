@@ -1,0 +1,146 @@
+"""End-to-end smoke run of the ``repro serve`` daemon.
+
+Boots a real daemon subprocess on an ephemeral port, registers a tenant,
+pushes a stream of request batches (small ones ride the queue; one large
+batch crosses the process boundary via shared memory), reads the live
+miss-ratio curve back over HTTP, and shuts the daemon down with SIGTERM —
+asserting the whole service contract on the way:
+
+* every acked batch is reflected in ``requests_seen`` (ack ⇒ durable),
+* ``/mrc`` answers with a non-stale curve once the worker catches up,
+* SIGTERM produces a graceful snapshot-then-exit with status ``-15``,
+* no shared-memory segments are leaked into ``/dev/shm``.
+
+This doubles as the CI service smoke job (see ``.github/workflows/ci.yml``);
+run logs land in ``REPRO_SERVE_LOG`` (default ``serve-smoke.log``).
+
+Run:  python examples/service_smoke.py
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+
+def _shm_segments() -> set:
+    shm = Path("/dev/shm")
+    return {p.name for p in shm.glob("psm_*")} if shm.is_dir() else set()
+
+
+def _request(base: str, method: str, path: str, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+def _start_daemon(data_dir: Path, log_path: Path) -> tuple:
+    """Launch ``repro serve`` and wait for its port file; returns (proc, base)."""
+    port_file = data_dir.parent / "serve.port"
+    log = open(log_path, "ab")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--data-dir", str(data_dir),
+            "--port-file", str(port_file),
+            "--snapshot-every", "4",
+            "--shm-threshold", "256",
+        ],
+        env=dict(os.environ),
+        stdout=log,
+        stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + 30
+    while not port_file.exists():
+        if proc.poll() is not None:
+            raise RuntimeError(f"daemon died during startup (rc={proc.returncode})")
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("daemon never wrote its port file")
+        time.sleep(0.05)
+    log.close()
+    return proc, f"http://127.0.0.1:{int(port_file.read_text())}"
+
+
+def main() -> int:
+    log_path = Path(os.environ.get("REPRO_SERVE_LOG", "serve-smoke.log"))
+    shm_before = _shm_segments()
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        data_dir = Path(tmp) / "data"
+        proc, base = _start_daemon(data_dir, log_path)
+        try:
+            code, _, resp = _request(base, "POST", "/tenants", {
+                "tenant_id": "smoke", "k": 5, "window": 20_000,
+                "seed": 7, "shards_rate": 0.2,
+            })
+            assert code == 201, (code, resp)
+            cfg = resp["tenant"]
+            print(f"tenant registered: {cfg['tenant_id']} "
+                  f"(k={cfg['k']}, window={cfg['window']})")
+
+            # Nine small queue batches + one 1000-key shm batch, all from a
+            # fixed congruential stream so any run sees the same curve.
+            acked = 0
+            for b in range(10):
+                n = 1_000 if b == 5 else 120
+                keys = [(b * 7919 + i * 104_729) % 3_000 for i in range(n)]
+                code, headers, resp = _request(
+                    base, "POST", "/tenants/smoke/ingest", {"keys": keys})
+                while code == 429:  # bounded queue: honor Retry-After
+                    time.sleep(float(headers.get("Retry-After", "1")))
+                    code, headers, resp = _request(
+                        base, "POST", "/tenants/smoke/ingest", {"keys": keys})
+                assert code == 200 and resp["durable"] is True, (code, resp)
+                acked += n
+            print(f"ingested {acked} requests over 10 batches (1 via shm)")
+
+            # The worker must converge to exactly the acked stream.
+            deadline = time.monotonic() + 60
+            while True:
+                code, _, q = _request(base, "GET", "/tenants/smoke/mrc")
+                assert code == 200, (code, q)
+                if not q["stale"] and q["counters"]["requests_seen"] == acked:
+                    break
+                assert time.monotonic() < deadline, q["counters"]
+                time.sleep(0.2)
+            curve = q["mrc"]
+            print(f"live MRC: {len(curve['sizes'])} points, "
+                  f"mr@max = {curve['miss_ratios'][-1]:.4f}, "
+                  f"shards baseline: {len(q['shards_mrc']['sizes'])} points")
+
+            code, _, health = _request(base, "GET", "/health")
+            assert code == 200 and health["tenants"]["smoke"]["restarts"] == 0
+            print(f"health: {health['tenants']['smoke']['state']}, "
+                  f"acked seq {health['tenants']['smoke']['last_acked_seq']}")
+
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=30)
+            assert rc == -signal.SIGTERM, f"expected -SIGTERM exit, got {rc}"
+            print("SIGTERM: graceful snapshot + shutdown, exit status -15")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    leaked = _shm_segments() - shm_before
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
+    print("no leaked /dev/shm segments — service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -141,6 +141,56 @@ class Shards:
             else:
                 self._byte_hist.record_cold()
 
+    # ------------------------------------------------------------------
+    STATE_KIND = "repro-shards"
+    STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot (behaviorally exact restore).
+
+        SHARDS is RNG-free (the spatial filter is a pure key hash), so the
+        snapshot is the recency order, the histograms and the counters;
+        :meth:`from_state` replays the order into a fresh Fenwick stack,
+        after which every subsequent access returns exactly what the
+        uninterrupted estimator would have returned.
+        """
+        return {
+            "kind": self.STATE_KIND,
+            "version": self.STATE_VERSION,
+            "sampler": self._sampler.state_dict(),
+            "adjust": self._adjust,
+            "byte_bin": self._byte_hist.bin_bytes if self._byte_hist else 0,
+            "stack": [
+                [int(k), int(s)] for k, s in self._stack.items_in_recency_order()
+            ],
+            "hist": self._hist.state_dict(),
+            "byte_hist": (
+                self._byte_hist.state_dict() if self._byte_hist else None
+            ),
+            "requests_seen": self.requests_seen,
+            "requests_sampled": self.requests_sampled,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Shards":
+        if state.get("kind") != cls.STATE_KIND:
+            raise ValueError("not a Shards state dict")
+        if int(state.get("version", -1)) != cls.STATE_VERSION:
+            raise ValueError(
+                f"unsupported Shards state version {state.get('version')!r}"
+            )
+        est = cls(rate=1.0, byte_bin=int(state["byte_bin"]))
+        est._sampler = SpatialSampler.from_state(state["sampler"])
+        est._adjust = bool(state["adjust"])
+        for key, size in state["stack"]:
+            est._stack.access(int(key), int(size))
+        est._hist.load_state(state["hist"])
+        if est._byte_hist is not None and state["byte_hist"] is not None:
+            est._byte_hist.load_state(state["byte_hist"])
+        est.requests_seen = int(state["requests_seen"])
+        est.requests_sampled = int(state["requests_sampled"])
+        return est
+
     def byte_mrc(self, label: str = "SHARDS-bytes") -> MissRatioCurve:
         """Byte-granularity LRU MRC (requires ``byte_bin`` > 0)."""
         if self._byte_hist is None:

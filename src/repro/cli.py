@@ -12,6 +12,7 @@ Usage (also via ``python -m repro``):
     repro compare trace.csv --k 5 --points 8
     repro classify trace.csv
     repro lint src benchmarks examples --severity error --format json
+    repro serve --data-dir /var/lib/repro --port 8080
 """
 
 from __future__ import annotations
@@ -242,6 +243,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return reprolint.main(args.lint_args)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        port_file=args.port_file,
+        grace=args.grace,
+        queue_depth=args.queue_depth,
+        snapshot_interval=args.snapshot_interval,
+        snapshot_every=args.snapshot_every,
+        watchdog_timeout=args.watchdog_timeout,
+        max_restarts=args.max_restarts,
+        shm_threshold=args.shm_threshold,
+    )
+
+
 def cmd_classify(args: argparse.Namespace) -> int:
     from .analysis.classify import classify_trace
 
@@ -373,6 +392,35 @@ def build_parser() -> argparse.ArgumentParser:
     # standalone `python -m repro.devtools.lint` and `repro lint` stay one tool.
     ln.add_argument("lint_args", nargs=argparse.REMAINDER)
     ln.set_defaults(func=cmd_lint)
+
+    sv = sub.add_parser(
+        "serve",
+        help="multi-tenant online-modeling daemon (see docs/SERVICE.md)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=0,
+                    help="0 binds an ephemeral port (printed on stdout)")
+    sv.add_argument("--data-dir", default="repro-service-data",
+                    help="tenant registry, WALs and snapshots live here")
+    sv.add_argument("--port-file", default=None, metavar="PATH",
+                    help="also write the bound port number to this file")
+    sv.add_argument("--grace", type=float, default=10.0,
+                    help="seconds to wait for workers on graceful shutdown")
+    sv.add_argument("--queue-depth", type=int, default=64,
+                    help="bounded ingest queue per tenant (full = 429)")
+    sv.add_argument("--snapshot-interval", type=float, default=30.0,
+                    help="seconds between worker snapshots")
+    sv.add_argument("--snapshot-every", type=int, default=None, metavar="N",
+                    help="also snapshot every N applied batches")
+    sv.add_argument("--watchdog-timeout", type=float, default=10.0,
+                    help="seconds before a hung worker is killed")
+    sv.add_argument("--max-restarts", type=int, default=5,
+                    help="worker deaths tolerated before a tenant is "
+                         "marked failed (snapshot-serving mode)")
+    sv.add_argument("--shm-threshold", type=int, default=4096,
+                    help="batches >= this many requests cross to the worker "
+                         "via shared memory instead of the queue")
+    sv.set_defaults(func=cmd_serve)
 
     cl = sub.add_parser("classify", help="Type A/B (K-sensitivity) classification")
     cl.add_argument("trace")

@@ -14,7 +14,7 @@ object-level ones (var-KRR, §4.4.1).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -244,6 +244,56 @@ class KRRStack:
         self.total_swaps += total_swaps
         self.updates += len(distances)
         return distances, None
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the stack's mutable state.
+
+        Covers the stack order, per-object sizes, the strategy's buffered
+        draws and the cost counters; the RNG generator itself belongs to
+        the owning model (one generator is shared model-wide).  Restoring
+        via :meth:`load_state` and continuing consumes draws identically
+        to a run that never stopped.
+        """
+        strategy_state: Optional[Dict[str, Any]] = None
+        dump = getattr(self._strategy, "state_dict", None)
+        if dump is not None:
+            strategy_state = dump()
+        return {
+            "k": self.k,
+            "stack": [int(key) for key in self._stack],
+            "sizes": [[int(key), int(sz)] for key, sz in self._sizes.items()],
+            "strategy": strategy_state,
+            "size_array": (
+                self._size_array.state_dict()
+                if self._size_array is not None
+                else None
+            ),
+            "total_swaps": self.total_swaps,
+            "updates": self.updates,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        if float(state["k"]) != self.k:
+            raise ValueError(
+                f"stack state is for K={state['k']!r}, this stack has K={self.k}"
+            )
+        self._stack = [int(key) for key in state["stack"]]
+        self._pos = {key: i for i, key in enumerate(self._stack)}
+        self._sizes = {int(key): int(sz) for key, sz in state["sizes"]}
+        if state["strategy"] is not None:
+            load = getattr(self._strategy, "load_state", None)
+            if load is None:
+                raise ValueError(
+                    f"strategy {self._strategy.name!r} cannot load state"
+                )
+            load(state["strategy"])
+        if self._size_array is not None:
+            if state["size_array"] is None:
+                raise ValueError("state has no sizeArray but track_sizes is on")
+            self._size_array.load_state(state["size_array"])
+        self.total_swaps = int(state["total_swaps"])
+        self.updates = int(state["updates"])
 
     # ------------------------------------------------------------------
     def remove(self, key: int) -> None:

@@ -117,6 +117,18 @@ class KRRModel:
         self.effective_k = (
             corrected_k(self.k, correction_exponent) if correction else float(self.k)
         )
+        # Constructor arguments (minus the seed — RNG state is snapshotted
+        # exactly) so state_dict() can rebuild an identical instance.
+        self._config: dict = {
+            "k": int(k),
+            "strategy": strategy,
+            "sampling_rate": sampling_rate,
+            "correction": bool(correction),
+            "correction_exponent": float(correction_exponent),
+            "track_sizes": bool(track_sizes),
+            "size_array_base": int(size_array_base),
+            "byte_bin": int(byte_bin),
+        }
         self._rng = ensure_rng(seed)
         self._strategy_name = strategy
         self._auto_rate = sampling_rate == "auto"
@@ -351,6 +363,102 @@ class KRRModel:
 
     def result(self) -> "KRRResult":
         return KRRResult(self)
+
+    # ------------------------------------------------------------------
+    STATE_KIND = "repro-krr-model"
+    STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the full model state (scalar engine).
+
+        Captures the constructor configuration, the PCG64 generator state,
+        the strategy's buffered draws, the stack, both histograms, the
+        sampler's exact threshold and the counters — everything needed for
+        :meth:`load_state`/:meth:`from_state` to resume *bit-identically*:
+        a restored model consumes the identical draw stream and reports
+        the identical curves as one that never stopped (floats survive
+        JSON via ``repr`` round-tripping).
+
+        Raises :class:`NotImplementedError` once the SoA engine holds
+        state; snapshotting covers the scalar streaming path (the one
+        long-lived online models use).
+        """
+        if self._soa is not None:
+            raise NotImplementedError(
+                "state_dict() supports the scalar engine; this model has "
+                "streamed through engine='soa'"
+            )
+        rng_state = self._rng.bit_generator.state
+        return {
+            "kind": self.STATE_KIND,
+            "version": self.STATE_VERSION,
+            "config": dict(self._config),
+            "engine": self._engine,
+            "rng": rng_state,
+            "stack": self._stack.state_dict(),
+            "obj_hist": self._obj_hist.state_dict(),
+            "byte_hist": (
+                self._byte_hist.state_dict()
+                if self._byte_hist is not None
+                else None
+            ),
+            "sampler": (
+                self._sampler.state_dict() if self._sampler is not None else None
+            ),
+            "auto_rate": self._auto_rate,
+            "stats": {
+                "requests_seen": self.stats.requests_seen,
+                "requests_sampled": self.stats.requests_sampled,
+                "cold_misses": self.stats.cold_misses,
+                "stack_updates": self.stats.stack_updates,
+                "swap_positions": self.stats.swap_positions,
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this (compatible) model."""
+        if state.get("kind") != self.STATE_KIND:
+            raise ValueError("not a KRRModel state dict")
+        if int(state.get("version", -1)) != self.STATE_VERSION:
+            raise ValueError(
+                f"unsupported KRRModel state version {state.get('version')!r}"
+            )
+        if state["config"] != self._config:
+            raise ValueError(
+                "model state was captured under a different configuration: "
+                f"{state['config']!r} != {self._config!r}"
+            )
+        engine = state.get("engine")
+        if engine == "soa":  # pragma: no cover - state_dict refuses first
+            raise NotImplementedError("cannot restore SoA-engine state")
+        self._engine = engine
+        self._rng.bit_generator.state = state["rng"]
+        self._stack.load_state(state["stack"])
+        self._obj_hist.load_state(state["obj_hist"])
+        if self._byte_hist is not None and state["byte_hist"] is not None:
+            self._byte_hist.load_state(state["byte_hist"])
+        if state["sampler"] is not None:
+            self._sampler = SpatialSampler.from_state(state["sampler"])
+        else:
+            self._sampler = None
+        self._auto_rate = bool(state["auto_rate"])
+        s = state["stats"]
+        self.stats = ModelStats(
+            requests_seen=int(s["requests_seen"]),
+            requests_sampled=int(s["requests_sampled"]),
+            cold_misses=int(s["cold_misses"]),
+            stack_updates=int(s["stack_updates"]),
+            swap_positions=int(s["swap_positions"]),
+        )
+
+    @classmethod
+    def from_state(cls, state: dict) -> "KRRModel":
+        """Reconstruct a model solely from a :meth:`state_dict` snapshot."""
+        if state.get("kind") != cls.STATE_KIND:
+            raise ValueError("not a KRRModel state dict")
+        model = cls(seed=0, **state["config"])
+        model.load_state(state)
+        return model
 
 
 class KRRResult:

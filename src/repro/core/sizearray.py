@@ -18,7 +18,7 @@ objects at stack positions ``1 .. b^j``.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
@@ -139,6 +139,26 @@ class SizeArray:
                 self._boundaries.append(bound)
                 self._sums.append(prefix)
                 bound *= self.base
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Anchor state, verbatim — anchors are path-dependent (patched
+        incrementally per update), so snapshots copy them rather than
+        rebuilding, keeping restored byte distances identical."""
+        return {
+            "base": self.base,
+            "boundaries": list(self._boundaries),
+            "sums": list(self._sums),
+            "length": self._length,
+            "total": self._total,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        if int(state["base"]) != self.base:
+            raise ValueError("sizeArray base mismatch")
+        self._boundaries = [int(b) for b in state["boundaries"]]
+        self._sums = [int(s) for s in state["sums"]]
+        self._length = int(state["length"])
+        self._total = int(state["total"])
 
     def byte_distance(self, phi: int) -> float:
         """Algorithm 3: interpolated bytes in stack positions ``1 .. phi``."""

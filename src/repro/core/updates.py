@@ -20,7 +20,7 @@ The equivalence of the three distributions is property-tested in
 
 from __future__ import annotations
 
-from typing import Dict, List, Protocol
+from typing import Any, Dict, List, Protocol
 
 import numpy as np
 
@@ -149,6 +149,15 @@ class _BufferedUniform:
         self._pos = pos + 1
         return self._buf[pos]
 
+    def state_dict(self) -> Dict[str, Any]:
+        """Buffered draws not yet served (the generator state lives with
+        the owner of the shared ``Generator``, not here)."""
+        return {"buf": list(self._buf), "pos": self._pos}
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self._buf = [float(v) for v in state["buf"]]
+        self._pos = int(state["pos"])
+
 
 class UpdateStrategy(Protocol):
     """Draws swap-position sets for KRR stack updates."""
@@ -176,6 +185,14 @@ class LinearUpdate:
         # pow() per position per access — and the SoA engine compares
         # against the very same values.
         self._table = survival_table(self.k)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"kind": self.name, "uniform": self._uniform.state_dict()}
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        if state.get("kind") != self.name:
+            raise ValueError(f"state is for strategy {state.get('kind')!r}")
+        self._uniform.load_state(state["uniform"])
 
     def swap_positions(self, phi: int) -> List[int]:
         if phi < 1:
@@ -226,6 +243,24 @@ class BackwardUpdate:
         self._buf = backward_draw_block(self._rng, self._inv_k, self._BLOCK).tolist()
         self._pos = 0
         self._refills += 1
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Unserved buffered draws + refill count (floats round-trip
+        exactly through JSON ``repr``, so a restored strategy replays the
+        identical tail of the current block before touching the RNG)."""
+        return {
+            "kind": self.name,
+            "buf": list(self._buf),
+            "pos": self._pos,
+            "refills": self._refills,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        if state.get("kind") != self.name:
+            raise ValueError(f"state is for strategy {state.get('kind')!r}")
+        self._buf = [float(v) for v in state["buf"]]
+        self._pos = int(state["pos"])
+        self._refills = int(state["refills"])
 
     def swap_positions(self, phi: int) -> List[int]:
         if phi < 1:
@@ -324,6 +359,19 @@ class TopDownUpdate:
     def _no_swap(self, a: int, b: int) -> float:
         """P(no swap position in [a, b]) = ((a-1)/b)^K."""
         return ((a - 1) / b) ** self.k
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.name,
+            "uniform": self._uniform.state_dict(),
+            "nodes_visited": self.nodes_visited,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        if state.get("kind") != self.name:
+            raise ValueError(f"state is for strategy {state.get('kind')!r}")
+        self._uniform.load_state(state["uniform"])
+        self.nodes_visited = int(state.get("nodes_visited", 0))
 
     def swap_positions(self, phi: int) -> List[int]:
         if phi < 1:

@@ -79,6 +79,18 @@ class WindowedKRRModel:
             self._since_rotation = 0
             self.rotations += 1
 
+    def access_many(self, keys: "list[int]", sizes: "Optional[list[int]]" = None) -> None:
+        """Stream a batch of requests (the service ingest path).
+
+        Equivalent to calling :meth:`access` per request — same rotation
+        points, same draws — with the per-call attribute lookups hoisted.
+        """
+        if sizes is None:
+            sizes = [1] * len(keys)
+        access = self.access
+        for key, size in zip(keys, sizes):
+            access(int(key), int(size))
+
     def process(self, trace: Trace) -> "WindowedKRRModel":
         keys = trace.keys
         sizes = trace.sizes
@@ -92,6 +104,71 @@ class WindowedKRRModel:
         """Requests reflected by :meth:`mrc` right now."""
         return min(self.requests_seen, self._half + self._since_rotation)
 
+    def counters(self) -> dict:
+        """Health-endpoint counters: lifetime ingest and rotation totals."""
+        return {
+            "requests_seen": self.requests_seen,
+            "rotations": self.rotations,
+            "since_rotation": self._since_rotation,
+            "coverage": self.coverage,
+            "window": self.window,
+        }
+
     def mrc(self, max_size: int | None = None) -> MissRatioCurve:
         """The rolling-window curve (half to one window of recent traffic)."""
         return self._current.mrc(max_size=max_size)
+
+    # ------------------------------------------------------------------
+    STATE_KIND = "repro-windowed-krr-model"
+    STATE_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: both generations plus the seeding RNG.
+
+        The seeding generator's state is captured alongside the two
+        :meth:`KRRModel.state_dict` snapshots, so the restored instance
+        rotates into *the same* future generations (each ``_fresh()``
+        seed comes from this generator) — resume is bit-identical across
+        rotation boundaries too.
+        """
+        return {
+            "kind": self.STATE_KIND,
+            "version": self.STATE_VERSION,
+            "window": self.window,
+            "config": dict(self._kwargs),
+            "rng": self._rng.bit_generator.state,
+            "current": self._current.state_dict(),
+            "warming": self._warming.state_dict(),
+            "since_rotation": self._since_rotation,
+            "requests_seen": self.requests_seen,
+            "rotations": self.rotations,
+        }
+
+    def load_state(self, state: dict) -> None:
+        if state.get("kind") != self.STATE_KIND:
+            raise ValueError("not a WindowedKRRModel state dict")
+        if int(state.get("version", -1)) != self.STATE_VERSION:
+            raise ValueError(
+                f"unsupported WindowedKRRModel state version "
+                f"{state.get('version')!r}"
+            )
+        if int(state["window"]) != self.window or state["config"] != self._kwargs:
+            raise ValueError(
+                "windowed-model state was captured under a different "
+                "configuration"
+            )
+        self._rng.bit_generator.state = state["rng"]
+        self._current = KRRModel.from_state(state["current"])
+        self._warming = KRRModel.from_state(state["warming"])
+        self._since_rotation = int(state["since_rotation"])
+        self.requests_seen = int(state["requests_seen"])
+        self.rotations = int(state["rotations"])
+
+    @classmethod
+    def from_state(cls, state: dict) -> "WindowedKRRModel":
+        """Reconstruct a windowed model solely from :meth:`state_dict`."""
+        if state.get("kind") != cls.STATE_KIND:
+            raise ValueError("not a WindowedKRRModel state dict")
+        model = cls(window=int(state["window"]), seed=0, **state["config"])
+        model.load_state(state)
+        return model

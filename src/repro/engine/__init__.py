@@ -38,7 +38,13 @@ from .runner import (
     TaskReport,
     TransientTaskError,
 )
-from .shm import AttachedTrace, SharedTraceStore, TraceSpec
+from .shm import (
+    AttachedTrace,
+    SharedTraceStore,
+    TraceSpec,
+    on_sigterm,
+    remove_sigterm_callback,
+)
 from .sweep import ModelSweep, SweepConfig, SweepResult, model_sweep
 
 __all__ = [
@@ -60,5 +66,7 @@ __all__ = [
     "clear_plan_cache",
     "maybe_inject",
     "model_sweep",
+    "on_sigterm",
+    "remove_sigterm_callback",
     "trace_fingerprint",
 ]

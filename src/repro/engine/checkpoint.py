@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Dict, Tuple
 
@@ -57,14 +58,23 @@ class SweepCheckpoint:
     def load(self) -> Dict[int, Row]:
         """Completed rows by grid index; ``{}`` when starting fresh.
 
-        Tolerates a truncated final line (crash mid-write); raises
-        :class:`CheckpointMismatch` if the header does not match this
-        sweep's signature.
+        A torn *final* line (the previous run died mid-``append``) is
+        expected crash debris: it is truncated off the file with a
+        :class:`RuntimeWarning`, so subsequent appends continue from a
+        clean record boundary.  A malformed line anywhere *else* means
+        the file was corrupted after it was fsynced — that raises
+        :class:`CheckpointMismatch` (as does a header that does not match
+        this sweep's signature) instead of silently dropping rows.
         """
         if not self.path.exists() or self.path.stat().st_size == 0:
             return {}
-        with self.path.open() as fh:
-            lines = fh.readlines()
+        with self.path.open("rb") as fh:
+            raw = fh.read()
+        lines = raw.split(b"\n")
+        # Byte offset where each line starts, for torn-tail truncation.
+        offsets = [0]
+        for line in lines[:-1]:
+            offsets.append(offsets[-1] + len(line) + 1)
         try:
             header = json.loads(lines[0])
         except (json.JSONDecodeError, IndexError):
@@ -86,14 +96,34 @@ class SweepCheckpoint:
             )
         self._header_written = True
         rows: Dict[int, Row] = {}
-        for line in lines[1:]:
-            line = line.strip()
+        last_data = max(
+            (i for i in range(1, len(lines)) if lines[i].strip()), default=0
+        )
+        for i in range(1, len(lines)):
+            line = lines[i].strip()
             if not line:
                 continue
             try:
                 d = json.loads(line)
             except json.JSONDecodeError:
-                continue  # truncated tail from a crash mid-write
+                if i == last_data:
+                    # Crash mid-append: drop the torn tail so the file ends
+                    # on a record boundary again.
+                    warnings.warn(
+                        f"{self.path}: dropping torn final checkpoint line "
+                        f"({len(raw) - offsets[i]} bytes) left by a crash "
+                        "mid-append; resuming from the last complete row",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    with self.path.open("r+b") as fh:
+                        fh.truncate(offsets[i])
+                    break
+                raise CheckpointMismatch(
+                    f"{self.path}: corrupt checkpoint row {i} (not at the "
+                    "tail, so this is not crash debris) — delete the file "
+                    "or point --checkpoint elsewhere"
+                )
             rows[int(d["index"])] = self._decode(d)
         return rows
 

@@ -9,24 +9,37 @@ a flaky fleet — can script failures per grid position:
     REPRO_FAULTS="crash-once@2;state=/tmp/faults"     # task 2's worker dies once
     REPRO_FAULTS="hang-once@0:60;state=/tmp/faults"   # task 0 hangs 60s, once
     REPRO_FAULTS="flaky@1:2;state=/tmp/faults"        # task 1 raises twice
+    REPRO_FAULTS="delay@ingest:50"                    # 50 ms ingest latency
+    REPRO_FAULTS="crash-once@snapshot;state=/tmp/f"   # die mid-snapshot, once
 
-Grammar: ``;``-separated clauses of ``mode@index[:arg]`` plus an optional
-``state=<dir>`` naming the latch directory for one-shot semantics.
+Grammar: ``;``-separated clauses of ``mode@point[:arg]`` plus an optional
+``state=<dir>`` naming the latch directory for one-shot semantics.  A
+*fault point* is either a numeric task index (sweep/simulation workers
+fire their grid position) or a name (the service daemon fires named
+points such as ``ingest``, ``snapshot`` and ``query`` — see
+``docs/SERVICE.md``); matching is by string equality, so ``crash@2``
+only ever hits task 2 and ``crash@ingest`` only the ingest path.
 
 Modes
 -----
-``crash@i`` / ``crash-once@i``
-    ``os._exit(70)`` whenever / the first time task ``i`` runs.  Fires
-    only in pool workers (``multiprocessing.parent_process()`` is set):
-    these modes simulate *worker* death, so they are no-ops on the serial
-    and degraded-to-serial paths — which is exactly what lets a
+``crash@p`` / ``crash-once@p``
+    ``os._exit(70)`` whenever / the first time point ``p`` fires.  Fires
+    only in worker processes (``multiprocessing.parent_process()`` is
+    set): these modes simulate *worker* death, so they are no-ops on the
+    serial and degraded-to-serial paths — which is exactly what lets a
     crash-always fault demonstrate graceful degradation end to end.
-``hang@i[:secs]`` / ``hang-once@i[:secs]``
+``hang@p[:secs]`` / ``hang-once@p[:secs]``
     Sleep ``secs`` (default 300) in the worker, tripping the per-task
     timeout.  Worker-only, like ``crash``.
-``flaky@i[:n]``
+``flaky@p[:n]``
     Raise :class:`~repro.engine.runner.TransientTaskError` the first
-    ``n`` times (default 1) task ``i`` runs, in any process.
+    ``n`` times (default 1) point ``p`` fires, in any process.
+``delay@p[:ms]`` / ``delay-once@p[:ms]``
+    Sleep ``ms`` milliseconds (default 100) at point ``p``, in any
+    process — latency injection for hang-*adjacent* paths (slow tenants,
+    queue backpressure, watchdog grace) without parking a worker for
+    minutes.  ``delay-once`` uses the same one-shot latch as the other
+    ``-once`` modes.
 
 One-shot bookkeeping must survive process death, so "has this fired?"
 lives in latch files claimed with ``O_CREAT | O_EXCL`` (atomic across
@@ -54,13 +67,22 @@ __all__ = [
 
 ENV_VAR = "REPRO_FAULTS"
 
-_MODES = ("crash", "crash-once", "hang", "hang-once", "flaky")
+_MODES = (
+    "crash",
+    "crash-once",
+    "hang",
+    "hang-once",
+    "flaky",
+    "delay",
+    "delay-once",
+)
 
 
 @dataclass(frozen=True)
 class _Clause:
     mode: str
-    index: int
+    #: Fault point: a task index ("2") or a named service point ("ingest").
+    index: str
     arg: Optional[float]
 
 
@@ -89,15 +111,21 @@ class FaultPlan:
                     f"with mode in {_MODES}"
                 )
             idx_s, _, arg_s = rest.partition(":")
+            if not idx_s:
+                raise ValueError(
+                    f"bad fault clause {part!r}: missing fault point"
+                )
             clauses.append(
-                _Clause(mode, int(idx_s), float(arg_s) if arg_s else None)
+                _Clause(mode, idx_s, float(arg_s) if arg_s else None)
             )
         return cls(tuple(clauses), state_dir)
 
     # ------------------------------------------------------------------
-    def fire(self, index: int) -> None:
+    def fire(self, index: "int | str") -> None:
+        """Inject at fault point ``index`` (task number or service name)."""
+        key = str(index)
         for clause in self.clauses:
-            if clause.index == int(index):
+            if clause.index == key:
                 self._fire(clause)
 
     def _fire(self, c: _Clause) -> None:
@@ -107,6 +135,15 @@ class FaultPlan:
                 raise TransientTaskError(
                     f"injected transient failure (task {c.index})"
                 )
+            return
+        # Latency injection fires in any process: slow paths exist on both
+        # sides of the queue (ingest handler, worker drain, snapshot write).
+        if c.mode == "delay":
+            time.sleep((c.arg if c.arg is not None else 100.0) / 1000.0)
+            return
+        if c.mode == "delay-once":
+            if self._claim(f"delay-{c.index}", 1):
+                time.sleep((c.arg if c.arg is not None else 100.0) / 1000.0)
             return
         # crash/hang simulate *worker* death; never take down the parent.
         if multiprocessing.parent_process() is None:
@@ -152,10 +189,11 @@ def _default_state_dir() -> Path:
 _plan_cache: dict = {}
 
 
-def maybe_inject(task_index: int) -> None:
+def maybe_inject(task_index: "int | str") -> None:
     """Inject any fault configured for ``task_index`` (no-op when unset).
 
-    Workers call this at task start; ``REPRO_FAULTS`` is read at call
+    Workers call this at task start (grid position) and the service
+    daemon at its named fault points; ``REPRO_FAULTS`` is read at call
     time so pool children (which inherit the environment) and the serial
     path see the same plan.
     """

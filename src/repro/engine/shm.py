@@ -49,7 +49,7 @@ import threading
 import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -60,16 +60,27 @@ __all__ = [
     "AttachedTrace",
     "SharedTraceStore",
     "TraceSpec",
+    "on_sigterm",
+    "remove_sigterm_callback",
 ]
 
 
 # ----------------------------------------------------------------------
-# Guaranteed-cleanup registry: every live creator-side store, unlinked on
-# interpreter exit and on SIGTERM even when close() was never reached.
+# Chained SIGTERM callback registry + guaranteed shm cleanup.
+#
+# Exactly one master SIGTERM handler is ever installed; it runs every
+# registered callback (newest first, so higher layers — e.g. the service
+# daemon's graceful shutdown — run before the shm cleanup they depend
+# on), then defers to whatever handler was installed before us, or
+# re-raises SIGTERM with the default disposition so kill-by-SIGTERM exit
+# semantics survive for supervisors.  The shm cleanup below is just the
+# first registered callback.
 # ----------------------------------------------------------------------
 _LIVE_STORES: "weakref.WeakSet[SharedTraceStore]" = weakref.WeakSet()
 _CLEANUP_LOCK = threading.Lock()
 _CLEANUP_INSTALLED = False
+_HANDLER_INSTALLED = False
+_SIGTERM_CALLBACKS: List[Callable[[], None]] = []
 _PREV_SIGTERM = None
 
 
@@ -82,8 +93,12 @@ def _cleanup_live_stores() -> None:
             pass
 
 
-def _sigterm_cleanup(signum: int, frame: object) -> None:  # pragma: no cover - signal path
-    _cleanup_live_stores()
+def _sigterm_handler(signum: int, frame: object) -> None:  # pragma: no cover - signal path
+    for callback in reversed(list(_SIGTERM_CALLBACKS)):
+        try:
+            callback()
+        except Exception:
+            pass  # teardown must keep going
     previous = _PREV_SIGTERM
     if callable(previous):
         previous(signum, frame)
@@ -95,17 +110,49 @@ def _sigterm_cleanup(signum: int, frame: object) -> None:  # pragma: no cover - 
         os.kill(os.getpid(), signal.SIGTERM)
 
 
+def on_sigterm(callback: Callable[[], None]) -> Callable[[], None]:
+    """Register ``callback`` on the process-wide chained SIGTERM handler.
+
+    Callbacks run newest-first when SIGTERM arrives, after which the
+    previously installed handler (or the default kill disposition) takes
+    over.  The first registration installs the master handler, capturing
+    any pre-existing handler so it still runs.  Forked children inherit
+    the handler and the callback list — callbacks that must only act in
+    their creating process have to guard on ``os.getpid()`` themselves
+    (the shm cleanup does, via each store's owner PID).
+
+    Returns ``callback`` unchanged, so it can be used as a decorator.
+    """
+    global _HANDLER_INSTALLED, _PREV_SIGTERM
+    with _CLEANUP_LOCK:
+        if not _HANDLER_INSTALLED:
+            try:
+                _PREV_SIGTERM = signal.signal(signal.SIGTERM, _sigterm_handler)
+            except ValueError:  # pragma: no cover - not the main thread
+                _PREV_SIGTERM = None
+            _HANDLER_INSTALLED = True
+        _SIGTERM_CALLBACKS.append(callback)
+    return callback
+
+
+def remove_sigterm_callback(callback: Callable[[], None]) -> bool:
+    """Deregister a callback added by :func:`on_sigterm` (True if found)."""
+    with _CLEANUP_LOCK:
+        try:
+            _SIGTERM_CALLBACKS.remove(callback)
+        except ValueError:
+            return False
+        return True
+
+
 def _install_cleanup_handlers() -> None:
-    global _CLEANUP_INSTALLED, _PREV_SIGTERM
+    global _CLEANUP_INSTALLED
     with _CLEANUP_LOCK:
         if _CLEANUP_INSTALLED:
             return
         atexit.register(_cleanup_live_stores)
-        try:
-            _PREV_SIGTERM = signal.signal(signal.SIGTERM, _sigterm_cleanup)
-        except ValueError:  # pragma: no cover - not the main thread
-            _PREV_SIGTERM = None
         _CLEANUP_INSTALLED = True
+    on_sigterm(_cleanup_live_stores)
 
 
 @dataclass(frozen=True)

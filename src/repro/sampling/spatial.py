@@ -17,7 +17,7 @@ Two variants:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
@@ -85,6 +85,24 @@ class SpatialSampler:
     ) -> np.ndarray:
         """Indices of sampled requests within ``keys``."""
         return np.flatnonzero(self.mask(keys, hashes))
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Exact filter parameters — ``threshold`` is stored directly so a
+        restored sampler keeps/drops the identical key set even when the
+        rate was derived (``"auto"``) rather than round."""
+        return {
+            "threshold": self.threshold,
+            "modulus": self.modulus,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "SpatialSampler":
+        sampler = cls.__new__(cls)
+        sampler.modulus = int(state["modulus"])
+        sampler.threshold = int(state["threshold"])
+        sampler.seed = int(state["seed"])
+        return sampler
 
 
 def choose_rate(
@@ -163,6 +181,22 @@ class FixedSizeSpatialSampler:
                 if key not in self._tracked:
                     return False
         return True
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "s_max": self.s_max,
+            "modulus": self.modulus,
+            "threshold": self.threshold,
+            "seed": self.seed,
+            "tracked": [[int(k), int(h)] for k, h in self._tracked.items()],
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        if int(state["s_max"]) != self.s_max or int(state["modulus"]) != self.modulus:
+            raise ValueError("fixed-size sampler configuration mismatch")
+        self.threshold = int(state["threshold"])
+        self.seed = int(state["seed"])
+        self._tracked = {int(k): int(h) for k, h in state["tracked"]}
 
     def _shrink(self) -> None:
         """Eject the max-hash object and lower the threshold below it."""

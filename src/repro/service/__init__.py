@@ -1,0 +1,42 @@
+"""``repro.service``: the supervised multi-tenant online-modeling daemon.
+
+`repro serve` turns the library's online models into an MRC-as-a-service
+process: per-tenant :class:`~repro.core.windowed.WindowedKRRModel`
+(+ optional SHARDS baseline) instances run in supervised worker
+processes, ingest flows through bounded queues with explicit
+backpressure, every acked request is durable in a write-ahead log before
+the HTTP 200 goes out, and workers snapshot their full model state
+(RNG included — resume is bit-identical) atomically on an interval and
+on shutdown.  A crashed worker is restarted with backoff while queries
+keep being answered from its last snapshot, flagged ``stale``.
+
+Layering (mirroring a conventional WSGI split):
+
+* :mod:`~repro.service.app`        — WSGI app + ``serve()`` entrypoint
+* :mod:`~repro.service.handlers`   — HTTP surface -> service calls
+* :mod:`~repro.service.supervisor` — worker processes, watchdog, restarts
+* :mod:`~repro.service.registry`   — tenant configs, persisted
+* :mod:`~repro.service.wal`        — per-tenant ingest write-ahead log
+* :mod:`~repro.service.snapshot`   — atomic generational snapshots
+
+See ``docs/SERVICE.md`` for endpoints, the snapshot format and the
+failure-mode table.
+"""
+
+from .app import create_app, serve
+from .registry import TenantConfig, TenantRegistry
+from .snapshot import SnapshotStore
+from .supervisor import Backpressure, Supervisor, TenantUnavailable
+from .wal import TenantWAL
+
+__all__ = [
+    "Backpressure",
+    "SnapshotStore",
+    "Supervisor",
+    "TenantConfig",
+    "TenantRegistry",
+    "TenantUnavailable",
+    "TenantWAL",
+    "create_app",
+    "serve",
+]

@@ -1,0 +1,166 @@
+"""Tenant registry: which models the daemon runs, persisted across restarts.
+
+A tenant is one independently-modeled request stream — its own
+:class:`~repro.core.windowed.WindowedKRRModel` (and optionally a SHARDS
+baseline running alongside for comparison), its own WAL, snapshots and
+worker process.  The registry is the durable list of tenants and their
+model configurations: a daemon restart re-creates every registered
+tenant's worker from this file plus its snapshot + WAL.
+
+The file (``<data_dir>/tenants.json``) is rewritten atomically on every
+mutation via :func:`~repro.service.snapshot.write_atomic`, so a crash
+mid-registration leaves either the old or the new tenant list — never a
+torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..baselines.shards import Shards
+from ..core.windowed import WindowedKRRModel
+from .snapshot import write_atomic
+
+__all__ = [
+    "TenantConfig",
+    "TenantRegistry",
+]
+
+
+#: Tenant ids double as directory names, so keep them filesystem-safe.
+_TENANT_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+@dataclass
+class TenantConfig:
+    """Model configuration for one tenant (JSON-serializable)."""
+
+    tenant_id: str
+    k: int = 5
+    window: int = 100_000
+    strategy: str = "backward"
+    sampling_rate: Union[None, float, str] = None
+    correction: bool = True
+    track_sizes: bool = False
+    seed: int = 0
+    #: Run a SHARDS baseline next to the KRR model (rate in (0, 1]).
+    shards_rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not _TENANT_ID_RE.match(self.tenant_id):
+            raise ValueError(
+                f"invalid tenant id {self.tenant_id!r}: must match "
+                f"{_TENANT_ID_RE.pattern}"
+            )
+        if self.shards_rate is not None and not (0.0 < self.shards_rate <= 1.0):
+            raise ValueError("shards_rate must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    def build_model(self) -> WindowedKRRModel:
+        """A fresh (empty) windowed model for this configuration."""
+        return WindowedKRRModel(
+            k=self.k,
+            window=self.window,
+            strategy=self.strategy,
+            sampling_rate=self.sampling_rate,
+            correction=self.correction,
+            track_sizes=self.track_sizes,
+            seed=self.seed,
+        )
+
+    def build_shards(self) -> Optional[Shards]:
+        """A fresh SHARDS baseline, or ``None`` when not configured."""
+        if self.shards_rate is None:
+            return None
+        return Shards(rate=self.shards_rate, seed=self.seed)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "TenantConfig":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - set of names
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(
+                f"unknown tenant config field(s): {sorted(unknown)}"
+            )
+        return cls(**d)
+
+
+class TenantRegistry:
+    """Durable ``tenant_id -> TenantConfig`` map for one data directory."""
+
+    KIND = "repro-service-tenants"
+    VERSION = 1
+
+    def __init__(self, data_dir: "Path | str") -> None:
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.data_dir / "tenants.json"
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, TenantConfig] = {}
+        if self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        doc = json.loads(self.path.read_bytes())
+        if doc.get("kind") != self.KIND or doc.get("version") != self.VERSION:
+            raise ValueError(f"{self.path}: not a v{self.VERSION} tenant registry")
+        for entry in doc["tenants"]:
+            cfg = TenantConfig.from_dict(entry)
+            self._tenants[cfg.tenant_id] = cfg
+
+    def _persist_locked(self) -> None:
+        doc = {
+            "kind": self.KIND,
+            "version": self.VERSION,
+            "tenants": [
+                self._tenants[tid].to_dict() for tid in sorted(self._tenants)
+            ],
+        }
+        write_atomic(self.path, json.dumps(doc, indent=2).encode() + b"\n")
+
+    # ------------------------------------------------------------------
+    def add(self, config: TenantConfig) -> None:
+        """Register a tenant; raises ``KeyError`` if the id is taken."""
+        with self._lock:
+            if config.tenant_id in self._tenants:
+                raise KeyError(f"tenant {config.tenant_id!r} already exists")
+            self._tenants[config.tenant_id] = config
+            self._persist_locked()
+
+    def remove(self, tenant_id: str) -> TenantConfig:
+        """Deregister a tenant; raises ``KeyError`` if unknown."""
+        with self._lock:
+            config = self._tenants.pop(tenant_id)  # KeyError propagates
+            self._persist_locked()
+            return config
+
+    def get(self, tenant_id: str) -> TenantConfig:
+        with self._lock:
+            return self._tenants[tenant_id]
+
+    def __contains__(self, tenant_id: object) -> bool:
+        with self._lock:
+            return tenant_id in self._tenants
+
+    def list(self) -> List[TenantConfig]:
+        with self._lock:
+            return [self._tenants[tid] for tid in sorted(self._tenants)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+    # ------------------------------------------------------------------
+    def tenant_dir(self, tenant_id: str) -> Path:
+        """Per-tenant state directory (WAL + snapshots live under it)."""
+        return self.data_dir / "tenants" / tenant_id

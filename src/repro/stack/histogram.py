@@ -11,7 +11,7 @@ with spatial sampling.
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Any, Dict, Iterable, Tuple
 
 import numpy as np
 import numpy.typing as npt
@@ -103,6 +103,22 @@ class DistanceHistogram:
         nz = np.flatnonzero(self._counts)
         hi = int(nz[-1]) + 1 if nz.size else 1
         return self._counts[:hi].copy()
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "counts": self.counts().tolist(),
+            "cold": self._cold,
+            "total": self._total,
+            "scale": self._scale,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        self._counts = np.zeros(max(1, counts.shape[0]), dtype=np.int64)
+        self._counts[: counts.shape[0]] = counts
+        self._cold = int(state["cold"])
+        self._total = int(state["total"])
+        self._scale = float(state["scale"])
 
     def max_distance(self) -> int:
         nz = np.flatnonzero(self._counts)
@@ -221,6 +237,27 @@ class ByteDistanceHistogram:
             grown[: self._counts.shape[0]] = self._counts
             self._counts = grown
         self._counts[: counts.shape[0]] += counts
+
+    def state_dict(self) -> Dict[str, Any]:
+        nz = np.flatnonzero(self._counts)
+        hi = int(nz[-1]) + 1 if nz.size else 1
+        return {
+            "bin": self._bin,
+            "counts": self._counts[:hi].tolist(),
+            "cold": self._cold,
+            "total": self._total,
+            "scale": self._scale,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        if int(state["bin"]) != self._bin:
+            raise ValueError("byte-histogram bin width mismatch")
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        self._counts = np.zeros(max(1, counts.shape[0]), dtype=np.int64)
+        self._counts[: counts.shape[0]] = counts
+        self._cold = int(state["cold"])
+        self._total = int(state["total"])
+        self._scale = float(state["scale"])
 
     def miss_ratio_curve(self) -> Tuple[np.ndarray, np.ndarray]:
         """``(sizes_bytes, miss_ratios)`` at bucket-boundary cache sizes.

@@ -149,6 +149,17 @@ class TreeLRUStack:
         self._last_size[key] = size
         return dist, above
 
+    def items_in_recency_order(self) -> list[Tuple[int, int]]:
+        """``(key, size)`` pairs, least- to most-recently used.
+
+        Future distances depend only on this order (and the sizes on the
+        byte tree), not on absolute timestamps, so replaying the pairs
+        into a fresh stack reproduces its observable behavior exactly —
+        the snapshot/restore contract used by the SHARDS baseline.
+        """
+        order = sorted(self._last_ts, key=self._last_ts.__getitem__)
+        return [(key, self._last_size[key]) for key in order]
+
 
 def lru_distance_stream(trace: Trace, use_tree: bool = True) -> Iterator[tuple[int, int]]:
     """Yield per-request ``(distance, bytes_above)`` for a whole trace."""

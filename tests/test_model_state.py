@@ -1,0 +1,176 @@
+"""State machinery tests: snapshot/restore must be bit-identical.
+
+The service's crash-safety story rests on ``state_dict()`` /
+``load_state()`` round-trips being *exact*: a model restored from a
+JSON-serialized snapshot (as the daemon writes them) and fed the second
+half of a trace must end in the same state — same RNG stream, same
+histograms, same curve bytes — as a model that streamed the whole trace
+uninterrupted.  Every test here splits a trace, snapshots at the seam
+through a real ``json.dumps``/``loads`` round-trip, and compares final
+``state_dict()`` and curve arrays for equality (not closeness).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.shards import Shards
+from repro.core.model import KRRModel
+from repro.core.windowed import WindowedKRRModel
+from repro.sampling.spatial import SpatialSampler
+from repro.workloads.zipf import ScrambledZipfGenerator
+
+
+def _keys(n: int, objects: int = 300, seed: int = 11) -> list[int]:
+    gen = ScrambledZipfGenerator(objects, 0.9, rng=seed)
+    return gen.sample(n).tolist()
+
+
+def _roundtrip(state: dict) -> dict:
+    """Exactly what the daemon does: through JSON bytes and back."""
+    return json.loads(json.dumps(state))
+
+
+@pytest.mark.parametrize("strategy", ["backward", "topdown", "linear"])
+@pytest.mark.parametrize("rate", [None, 0.05])
+def test_krr_model_resume_is_bit_identical(strategy, rate):
+    keys = _keys(6_000)
+    full = KRRModel(k=4, strategy=strategy, sampling_rate=rate, seed=3)
+    for key in keys:
+        full.access(key)
+
+    first = KRRModel(k=4, strategy=strategy, sampling_rate=rate, seed=3)
+    for key in keys[:3_000]:
+        first.access(key)
+    resumed = KRRModel.from_state(_roundtrip(first.state_dict()))
+    for key in keys[3_000:]:
+        resumed.access(key)
+
+    assert resumed.state_dict() == full.state_dict()
+    a, b = resumed.mrc(), full.mrc()
+    assert np.array_equal(a.sizes, b.sizes)
+    assert np.array_equal(a.miss_ratios, b.miss_ratios)
+
+
+def test_krr_model_tracked_sizes_resume():
+    keys = _keys(4_000)
+    sizes = [((k * 2654435761) % 900) + 10 for k in keys]
+    full = KRRModel(k=5, track_sizes=True, seed=9)
+    for k, s in zip(keys, sizes):
+        full.access(k, s)
+
+    first = KRRModel(k=5, track_sizes=True, seed=9)
+    for k, s in zip(keys[:2_000], sizes[:2_000]):
+        first.access(k, s)
+    resumed = KRRModel.from_state(_roundtrip(first.state_dict()))
+    for k, s in zip(keys[2_000:], sizes[2_000:]):
+        resumed.access(k, s)
+
+    assert resumed.state_dict() == full.state_dict()
+    a, b = resumed.byte_mrc(), full.byte_mrc()
+    assert np.array_equal(a.miss_ratios, b.miss_ratios)
+
+
+def test_krr_model_rejects_config_mismatch():
+    model = KRRModel(k=4, seed=1)
+    model.access(1)
+    state = model.state_dict()
+    other = KRRModel(k=7, seed=1)
+    with pytest.raises(ValueError, match="configuration"):
+        other.load_state(state)
+
+
+def test_krr_model_rejects_wrong_kind():
+    model = KRRModel(k=4, seed=1)
+    with pytest.raises(ValueError):
+        model.load_state({"kind": "something-else", "version": 1})
+
+
+def test_windowed_model_resume_across_rotations():
+    keys = _keys(9_000, objects=150)
+    window = 2_000  # several rotations inside 9k requests
+    full = WindowedKRRModel(k=4, window=window, seed=5)
+    for key in keys:
+        full.access(key)
+    assert full.rotations >= 4
+
+    first = WindowedKRRModel(k=4, window=window, seed=5)
+    for key in keys[:4_500]:
+        first.access(key)
+    resumed = WindowedKRRModel.from_state(_roundtrip(first.state_dict()))
+    for key in keys[4_500:]:
+        resumed.access(key)
+
+    assert resumed.state_dict() == full.state_dict()
+    assert resumed.counters() == full.counters()
+    a, b = resumed.mrc(), full.mrc()
+    assert np.array_equal(a.miss_ratios, b.miss_ratios)
+
+
+def test_windowed_counters_track_requests_and_rotations():
+    model = WindowedKRRModel(k=3, window=100, seed=1)
+    for i in range(275):
+        model.access(i % 40)
+    c = model.counters()
+    # Rotation fires every window//2 = 50 requests.
+    assert c["requests_seen"] == 275
+    assert c["rotations"] == 5
+    assert c["since_rotation"] == 25
+    assert c["coverage"] == 75
+    assert c["window"] == 100
+    assert model.coverage == min(model.requests_seen, 50 + 25)
+
+
+def test_windowed_access_many_equals_access_loop():
+    keys = _keys(2_000, objects=80)
+    sizes = [(k % 7) + 1 for k in keys]
+    one = WindowedKRRModel(k=4, window=500, seed=2, track_sizes=True)
+    for k, s in zip(keys, sizes):
+        one.access(k, s)
+    many = WindowedKRRModel(k=4, window=500, seed=2, track_sizes=True)
+    many.access_many(keys, sizes)
+    assert one.state_dict() == many.state_dict()
+
+
+def test_shards_resume_is_behaviorally_exact():
+    keys = _keys(8_000, objects=400)
+    full = Shards(rate=0.3, seed=2, byte_bin=4096)
+    for k in keys:
+        full.access(k, (k % 50) + 1)
+
+    first = Shards(rate=0.3, seed=2, byte_bin=4096)
+    for k in keys[:4_000]:
+        first.access(k, (k % 50) + 1)
+    resumed = Shards.from_state(_roundtrip(first.state_dict()))
+    for k in keys[4_000:]:
+        resumed.access(k, (k % 50) + 1)
+
+    assert resumed.state_dict() == full.state_dict()
+    a, b = resumed.mrc(), full.mrc()
+    assert np.array_equal(a.miss_ratios, b.miss_ratios)
+    ab, bb = resumed.byte_mrc(), full.byte_mrc()
+    assert np.array_equal(ab.miss_ratios, bb.miss_ratios)
+
+
+def test_spatial_sampler_state_preserves_exact_threshold():
+    sampler = SpatialSampler(0.123456789, seed=42)
+    restored = SpatialSampler.from_state(_roundtrip(sampler.state_dict()))
+    assert restored.threshold == sampler.threshold
+    assert restored.modulus == sampler.modulus
+    assert restored.seed == sampler.seed
+    for key in range(5_000):
+        assert restored.keep(key) == sampler.keep(key)
+
+
+def test_soa_engine_state_not_supported():
+    model = KRRModel(k=4, seed=1)
+    trace_keys = np.asarray(_keys(500), dtype=np.int64)
+    from repro.workloads.trace import Trace
+
+    model.process(Trace(trace_keys), engine="soa")
+    if model._soa is not None:
+        with pytest.raises(NotImplementedError):
+            model.state_dict()

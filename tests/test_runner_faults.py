@@ -151,7 +151,7 @@ class TestFaultPlanParsing:
         assert plan.state_dir == "/tmp/x"
         assert len(plan.clauses) == 2
         assert plan.clauses[0].mode == "crash-once"
-        assert plan.clauses[0].index == 2
+        assert plan.clauses[0].index == "2"
         assert plan.clauses[1].arg == 3.0
 
     def test_bad_clause_rejected(self):
@@ -400,3 +400,157 @@ class TestSweepCLIFaultFlags:
         assert second["from_checkpoint"] == 2
         assert second["attempts"] == 0
         assert out.read_text() == first_grid
+
+
+# ----------------------------------------------------------------------
+class TestDelayFaults:
+    """The delay@/delay-once@ latency-injection clauses (service paths)."""
+
+    def test_parse_named_point_and_delay(self):
+        plan = FaultPlan.parse("delay@ingest:50;crash-once@worker;state=/tmp/x")
+        assert plan.clauses[0].mode == "delay"
+        assert plan.clauses[0].index == "ingest"
+        assert plan.clauses[0].arg == 50.0
+        assert plan.clauses[1].index == "worker"
+        assert plan.state_dir == "/tmp/x"
+
+    def test_delay_sleeps_in_any_process(self, tmp_path):
+        plan = FaultPlan.parse(f"delay@ingest:80;state={tmp_path}")
+        start = time.monotonic()
+        plan.fire("ingest")
+        plan.fire("ingest")
+        assert time.monotonic() - start >= 0.15  # fires every time
+        start = time.monotonic()
+        plan.fire("other-point")
+        assert time.monotonic() - start < 0.05  # string-matched, no hit
+
+    def test_delay_once_uses_the_latch(self, tmp_path):
+        plan = FaultPlan.parse(f"delay-once@snapshot:120;state={tmp_path}")
+        start = time.monotonic()
+        plan.fire("snapshot")
+        first = time.monotonic() - start
+        start = time.monotonic()
+        plan.fire("snapshot")
+        second = time.monotonic() - start
+        assert first >= 0.1
+        assert second < 0.05  # latch consumed: one-shot across processes
+        assert list(tmp_path.glob("delay-snapshot.*"))
+
+    def test_numeric_task_index_still_matches(self, tmp_path):
+        plan = FaultPlan.parse(f"delay@2:60;state={tmp_path}")
+        start = time.monotonic()
+        plan.fire(2)  # int fault point, string clause
+        assert time.monotonic() - start >= 0.05
+
+
+# ----------------------------------------------------------------------
+class TestCheckpointTornTail:
+    """SweepCheckpoint's crash-debris handling, straight at the API."""
+
+    def _written(self, tmp_path) -> Path:
+        from repro.engine.checkpoint import SweepCheckpoint
+
+        ck = tmp_path / "sweep.ckpt"
+        cp = SweepCheckpoint(ck, {"sig": 1})
+        cp.load()
+        cp.append((0, np.array([1.0, 2.0]), np.array([0.5, 0.25]), "objects", {}))
+        cp.append((1, np.array([1.0, 2.0]), np.array([0.4, 0.2]), "objects", {}))
+        return ck
+
+    def test_torn_final_line_truncated_with_warning(self, tmp_path):
+        from repro.engine.checkpoint import SweepCheckpoint
+
+        ck = self._written(tmp_path)
+        raw = ck.read_bytes()
+        ck.write_bytes(raw[:-17])  # crash mid-append of row 1
+        with pytest.warns(RuntimeWarning, match="torn final checkpoint line"):
+            rows = SweepCheckpoint(ck, {"sig": 1}).load()
+        assert sorted(rows) == [0]
+        # The torn bytes were physically truncated: the file ends on a
+        # record boundary and a further append produces a loadable file.
+        assert ck.read_bytes().endswith(b"\n")
+        cp = SweepCheckpoint(ck, {"sig": 1})
+        cp.load()
+        cp.append((1, np.array([1.0]), np.array([0.9]), "objects", {}))
+        assert sorted(SweepCheckpoint(ck, {"sig": 1}).load()) == [0, 1]
+
+    def test_mid_file_corruption_rejected(self, tmp_path):
+        from repro.engine.checkpoint import SweepCheckpoint
+
+        ck = self._written(tmp_path)
+        lines = ck.read_bytes().split(b"\n")
+        lines[1] = lines[1][: len(lines[1]) // 2]  # row 0: fsynced, acked
+        ck.write_bytes(b"\n".join(lines))
+        with pytest.raises(CheckpointMismatch, match="not at the tail"):
+            SweepCheckpoint(ck, {"sig": 1}).load()
+
+
+# ----------------------------------------------------------------------
+class TestSigtermChaining:
+    """on_sigterm(): callbacks chain with a pre-existing SIGTERM handler."""
+
+    SCRIPT = r"""
+import os, signal, sys, time
+sys.path.insert(0, {src!r})
+marker = {marker!r}
+
+order = []
+
+def preexisting(signum, frame):
+    order.append("prev")
+    with open(marker, "w") as fh:
+        fh.write(",".join(order))
+    os._exit(42)
+
+signal.signal(signal.SIGTERM, preexisting)
+
+import numpy as np
+from repro.engine.shm import SharedTraceStore, on_sigterm
+from repro.workloads.trace import Trace
+
+store = SharedTraceStore(Trace(np.arange(100), name="victim"))
+
+@on_sigterm
+def service_callback():
+    order.append("callback")
+
+print(store.spec.shm_name, flush=True)
+time.sleep(60)
+"""
+
+    @pytest.mark.skipif(
+        not Path("/dev/shm").is_dir(), reason="needs POSIX /dev/shm"
+    )
+    def test_preexisting_handler_still_runs_after_callbacks(self, tmp_path):
+        marker = tmp_path / "order.txt"
+        script = self.SCRIPT.format(src=SRC, marker=str(marker))
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script], stdout=subprocess.PIPE, text=True
+        )
+        try:
+            name = proc.stdout.readline().strip()
+            assert (Path("/dev/shm") / name).exists()
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=20)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - safety net
+                proc.kill()
+        # The pre-existing handler decided the exit (42), not a re-kill.
+        assert rc == 42
+        # Callbacks ran newest-first, then the captured previous handler.
+        assert marker.read_text() == "callback,prev"
+        # The shm cleanup callback (registered first) unlinked the store.
+        deadline = time.monotonic() + 5
+        while (Path("/dev/shm") / name).exists():
+            assert time.monotonic() < deadline, "segment leaked"
+            time.sleep(0.05)
+
+    def test_remove_sigterm_callback(self):
+        from repro.engine.shm import on_sigterm, remove_sigterm_callback
+
+        def cb():  # pragma: no cover - never fired
+            pass
+
+        on_sigterm(cb)
+        assert remove_sigterm_callback(cb) is True
+        assert remove_sigterm_callback(cb) is False

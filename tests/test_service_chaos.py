@@ -1,0 +1,238 @@
+"""Service-level chaos test: the daemon under injected faults.
+
+Runs a real ``repro serve`` subprocess with ``REPRO_FAULTS`` arming
+
+* ``crash-once@worker``   — the tenant worker dies applying a batch,
+* ``crash-once@snapshot`` — the worker dies again mid-snapshot cycle,
+* ``delay@ingest:5``      — every ingest path carries injected latency,
+
+drives ingest (small queue batches *and* shared-memory batches) with a
+429-aware retry loop, and asserts the daemon's whole contract at once:
+
+1. **No acked request lost** — after the dust settles, a live query's
+   ``requests_seen`` equals exactly the number of requests in batches
+   that got a 200.
+2. **Bounded staleness, never a 500** — every query during the chaos
+   returns 200; stale answers carry a finite staleness age.
+3. **Bit-identical restore** — a daemon restart over the same data
+   directory answers with exactly the curve an uninterrupted in-process
+   model produces for the acked stream.
+4. **Zero orphaned shm segments** — after SIGTERM, no shared-memory
+   segments created during the run remain in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+pytestmark = pytest.mark.skipif(
+    not Path("/dev/shm").is_dir(), reason="needs POSIX /dev/shm"
+)
+
+
+def _shm_segments() -> set:
+    return {p.name for p in Path("/dev/shm").glob("psm_*")}
+
+
+class _Daemon:
+    """A ``repro serve`` subprocess bound to an ephemeral port."""
+
+    def __init__(self, data_dir: Path, log_path: Path, env_extra: dict):
+        self.log = open(log_path, "a")
+        port_file = data_dir.parent / f"{data_dir.name}.port"
+        port_file.unlink(missing_ok=True)
+        env = dict(os.environ, PYTHONPATH=SRC, **env_extra)
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--data-dir", str(data_dir),
+                "--port-file", str(port_file),
+                "--snapshot-every", "3",
+                "--snapshot-interval", "60",
+                "--shm-threshold", "64",
+                "--queue-depth", "8",
+                "--watchdog-timeout", "10",
+            ],
+            env=env,
+            stdout=self.log,
+            stderr=subprocess.STDOUT,
+        )
+        deadline = time.monotonic() + 30
+        while not port_file.exists():
+            assert self.proc.poll() is None, "daemon died during startup"
+            assert time.monotonic() < deadline, "daemon never wrote port file"
+            time.sleep(0.05)
+        self.base = f"http://127.0.0.1:{int(port_file.read_text())}"
+
+    def request(self, method: str, path: str, body=None, timeout=20.0):
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.base + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return resp.status, dict(resp.headers), json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), json.loads(exc.read())
+
+    def ingest_with_retry(self, tenant: str, keys, sizes=None) -> bool:
+        """POST one batch, honoring 429 + Retry-After.  True once acked."""
+        body = {"keys": keys}
+        if sizes is not None:
+            body["sizes"] = sizes
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            code, headers, resp = self.request(
+                "POST", f"/tenants/{tenant}/ingest", body
+            )
+            if code == 200:
+                assert resp["durable"] is True
+                return True
+            assert code == 429, f"unexpected status {code}: {resp}"
+            time.sleep(min(1.0, float(headers.get("Retry-After", "1"))))
+        return False
+
+    def sigterm_and_wait(self) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            return self.proc.wait(timeout=30)
+        finally:
+            if self.proc.poll() is None:  # pragma: no cover - safety net
+                self.proc.kill()
+            self.log.close()
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+        self.log.close()
+
+
+def test_daemon_survives_worker_and_snapshot_crashes(tmp_path):
+    from repro.core.windowed import WindowedKRRModel  # oracle
+
+    data_dir = tmp_path / "data"
+    log_path = tmp_path / "serve.log"
+    latch_dir = tmp_path / "latches"
+    faults = (
+        f"crash-once@worker;crash-once@snapshot;delay@ingest:5;"
+        f"state={latch_dir}"
+    )
+    shm_before = _shm_segments()
+
+    config = {
+        "tenant_id": "chaos", "k": 4, "window": 2_000, "seed": 17,
+        "shards_rate": 0.5,
+    }
+    # The acked stream, mirrored locally for the oracle comparison.
+    acked_keys: list = []
+
+    daemon = _Daemon(data_dir, log_path, {"REPRO_FAULTS": faults})
+    try:
+        code, _, _ = daemon.request("POST", "/tenants", config)
+        assert code == 201
+
+        batches = []
+        for b in range(24):
+            n = 100 if b % 5 == 0 else 20  # every 5th crosses via shm
+            batches.append([(b * 131 + i * 7) % 150 for i in range(n)])
+
+        saw_stale = False
+        for b, keys in enumerate(batches):
+            assert daemon.ingest_with_retry("chaos", keys), "ingest starved"
+            acked_keys.extend(keys)
+            # Interleave queries mid-chaos: every answer must be a 200,
+            # stale or not — never an error while the worker crash-loops.
+            code, _, q = daemon.request("GET", "/tenants/chaos/mrc")
+            assert code == 200, q
+            if q["stale"]:
+                saw_stale = True
+                assert (
+                    q["staleness_seconds"] is None
+                    or 0.0 <= q["staleness_seconds"] < 120.0
+                )
+
+        # Both crash faults actually fired (one latch file each).
+        fired = {p.name.rsplit(".", 1)[0] for p in latch_dir.iterdir()}
+        assert fired == {"crash-worker", "crash-snapshot"}, fired
+        del saw_stale  # informative only: timing decides if we catch it
+
+        # 1. No acked request lost: the worker converges to exactly the
+        #    acked stream (crash replays the WAL, dedups the queue).
+        deadline = time.monotonic() + 60
+        while True:
+            code, _, q = daemon.request("GET", "/tenants/chaos/mrc")
+            assert code == 200
+            if (
+                not q["stale"]
+                and q["counters"]["requests_seen"] == len(acked_keys)
+            ):
+                break
+            assert time.monotonic() < deadline, (
+                f"never converged: {q['counters']} vs {len(acked_keys)} acked"
+            )
+            time.sleep(0.2)
+        assert q["shards_mrc"]["sizes"], "SHARDS baseline missing"
+
+        code, _, health = daemon.request("GET", "/health")
+        assert health["tenants"]["chaos"]["restarts"] >= 1
+
+        rc = daemon.sigterm_and_wait()
+        assert rc == -signal.SIGTERM
+    except BaseException:
+        daemon.kill()
+        raise
+
+    # 3. Bit-identical restore: a fresh daemon lifetime over the same
+    #    data dir answers with exactly the uninterrupted model's curve.
+    daemon2 = _Daemon(data_dir, log_path, {})  # no faults this time
+    try:
+        deadline = time.monotonic() + 60
+        while True:
+            code, _, q2 = daemon2.request("GET", "/tenants/chaos/mrc")
+            assert code == 200
+            if (
+                not q2["stale"]
+                and q2["counters"]["requests_seen"] == len(acked_keys)
+            ):
+                break
+            assert time.monotonic() < deadline, q2
+            time.sleep(0.2)
+
+        oracle = WindowedKRRModel(
+            k=config["k"], window=config["window"], seed=config["seed"]
+        )
+        oracle.access_many(acked_keys)
+        assert q2["counters"] == oracle.counters()
+        curve = oracle.mrc()
+        assert q2["mrc"]["sizes"] == [float(s) for s in curve.sizes]
+        assert q2["mrc"]["miss_ratios"] == [
+            float(m) for m in curve.miss_ratios
+        ]
+
+        rc = daemon2.sigterm_and_wait()
+        assert rc == -signal.SIGTERM
+    except BaseException:
+        daemon2.kill()
+        raise
+
+    # 4. Zero orphaned shared-memory segments from either lifetime.
+    deadline = time.monotonic() + 10
+    while _shm_segments() - shm_before:
+        assert time.monotonic() < deadline, (
+            f"leaked shm segments: {_shm_segments() - shm_before}"
+        )
+        time.sleep(0.1)
