@@ -1,10 +1,22 @@
 """Developer tooling that enforces the reproduction's invariants.
 
-Currently one tool: :mod:`repro.devtools.lint` ("reprolint"), an AST-based
-static analyzer with repo-specific rules — seeded-randomness plumbing
-(RNG-001/002), shared-memory lifecycle safety (SHM-001), model-path
-determinism (DET-001) and Python hygiene (PY-001/002).  Run it as
-``repro lint`` or ``python -m repro.devtools.lint``; it gates CI.
+:mod:`repro.devtools.lint` ("reprolint") is the driver: repo-specific
+static analysis run as ``repro lint`` or ``python -m repro.devtools.lint``;
+it gates CI.  Two tiers of rules:
+
+* single-file AST rules — seeded-randomness plumbing (RNG-001/002),
+  shared-memory lifecycle safety (SHM-001), model-path determinism
+  (DET-001) and Python hygiene (PY-001/002);
+* project-level dataflow rules built on
+  :mod:`repro.devtools.analysis` (per-function CFGs, reaching
+  definitions, one-level call summaries) — fork-boundary and
+  worker-lifecycle safety (CONC-001/002/003), crash-durability ordering
+  over the WAL/snapshot/checkpoint protocol (DUR-001/002/003), and the
+  ctypes ↔ C contract of the native kernel (NAT-001/002/003).
+
+:mod:`repro.devtools.findings` holds the rule registry and the
+:class:`~repro.devtools.findings.Finding` type both tiers report
+through; docs/LINTING.md is the full catalog.
 """
 
 from .lint import (

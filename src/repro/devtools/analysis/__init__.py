@@ -1,0 +1,51 @@
+"""Project-level static analysis behind reprolint's CONC/DUR/NAT rules.
+
+Layout:
+
+* :mod:`~repro.devtools.analysis.cfg` — per-function statement CFG,
+  reaching definitions, and the two path queries (ordering-on-all-paths,
+  value provenance) the rules are phrased in.
+* :mod:`~repro.devtools.analysis.project` — the whole-tree view: import
+  maps, function/method indexes, conservative call resolution, and the
+  one-level :class:`~repro.devtools.analysis.project.FunctionSummary`.
+* :mod:`~repro.devtools.analysis.conc` / :mod:`~.dur` / :mod:`~.nat` —
+  the rule families.  Each exposes one entry point
+  ``check_*(module, project) -> List[Finding]``; the driver in
+  :mod:`repro.devtools.lint` builds a :class:`Project` over everything
+  under lint and runs all three per module.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG, CFGNode, ReachingDefs, build_cfg, dotted_name
+from .conc import check_conc
+from .dur import check_dur
+from .nat import check_nat
+from .project import (
+    FunctionInfo,
+    FunctionSummary,
+    ImportMap,
+    ModuleInfo,
+    Project,
+    is_durable_module,
+)
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "FunctionInfo",
+    "FunctionSummary",
+    "ImportMap",
+    "ModuleInfo",
+    "Project",
+    "ReachingDefs",
+    "build_cfg",
+    "check_conc",
+    "check_dur",
+    "check_nat",
+    "dotted_name",
+    "is_durable_module",
+]
+
+#: The per-module analyzers the lint driver runs, in report order.
+ANALYZERS = (check_conc, check_dur, check_nat)

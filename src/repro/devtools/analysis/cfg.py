@@ -1,0 +1,413 @@
+"""Intraprocedural dataflow core: per-function CFG + reaching definitions.
+
+This is the machinery under the CONC-* and DUR-* rule families.  It is a
+*statement-level* control-flow graph — precise enough to answer the two
+question shapes those rules need, cheap enough to run over the whole repo
+on every lint:
+
+1. **Ordering on all paths** — "does every path from this ``write`` to a
+   normal function exit pass an ``os.fsync``?" (:meth:`CFG.path_avoiding`
+   with the exit as target), and the dominator-flavoured dual "can this
+   ``rename`` be reached from entry without passing an fsync?".
+2. **Value provenance** — "what assignments can reach this use of
+   ``t.inbox``?" (:class:`ReachingDefs`), so a rule can ask whether a
+   queue passed to ``Process(...)`` was *freshly constructed* in this
+   scope or inherited from a previous worker generation.
+
+Design notes.  Exception flow is approximated the standard way: every
+statement inside a ``try`` body gets an edge to each handler, ``raise``
+jumps to the nearest matching construct or to the abnormal exit, and the
+abnormal exit is distinct from the normal one — durability rules only
+reason about *normal* exits (an exception is not an ack).  Names are
+tracked as dotted paths (``t.inbox`` as well as ``seq``) because the
+supervisor idiom mutates attributes of a handle object; anything fancier
+(aliasing, containers) is deliberately out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "ReachingDefs",
+    "build_cfg",
+    "dotted_name",
+    "assigned_paths",
+]
+
+
+def dotted_name(node: ast.expr) -> str:
+    """``a.b.c`` for a Name/Attribute chain, ``""`` for anything else."""
+    parts: List[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def assigned_paths(target: ast.expr) -> Iterator[str]:
+    """Dotted paths defined by one assignment target (tuples unpacked)."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from assigned_paths(elt)
+    elif isinstance(target, ast.Starred):
+        yield from assigned_paths(target.value)
+    else:
+        path = dotted_name(target)
+        if path:
+            yield path
+
+
+@dataclass
+class CFGNode:
+    """One statement (or synthetic entry/exit marker) in the graph."""
+
+    index: int
+    stmt: Optional[ast.AST]
+    kind: str = "stmt"  # "stmt" | "entry" | "exit" | "raise_exit"
+    #: Dotted paths (re)defined by this statement.
+    defs: Tuple[str, ...] = ()
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0) if self.stmt is not None else 0
+
+    def own_exprs(self) -> Iterator[ast.AST]:
+        """The AST fragments executed *at this node* (headers only).
+
+        Compound statements (``if``/``while``/``with``/``try``) put their
+        bodies in separate CFG nodes, so scanning a node for calls must
+        not descend into them; nested function/class definitions are
+        opaque (their bodies do not run here).
+        """
+        stmt = self.stmt
+        if stmt is None:
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            yield stmt.test
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            yield stmt.target
+            yield stmt.iter
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                yield item.context_expr
+                if item.optional_vars is not None:
+                    yield item.optional_vars
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                yield stmt.value
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                yield stmt.exc
+            if stmt.cause is not None:
+                yield stmt.cause
+        elif isinstance(stmt, ast.Assert):
+            yield stmt.test
+            if stmt.msg is not None:
+                yield stmt.msg
+        elif isinstance(stmt, ast.ExceptHandler):
+            if stmt.type is not None:
+                yield stmt.type
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # opaque: the body runs elsewhere, if ever
+        else:
+            yield stmt
+
+    def calls(self) -> Iterator[ast.Call]:
+        """Every call executed at this node (headers only, see own_exprs)."""
+        for expr in self.own_exprs():
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Call):
+                    yield sub
+
+
+class CFG:
+    """Statement-level control-flow graph of one function body."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.nodes: List[CFGNode] = []
+        self.succ: Dict[int, Set[int]] = {}
+        self.entry = self._new_node(None, "entry")
+        self.exit = self._new_node(None, "exit")
+        self.raise_exit = self._new_node(None, "raise_exit")
+
+    # -- construction ----------------------------------------------------
+
+    def _new_node(self, stmt: Optional[ast.AST], kind: str = "stmt") -> int:
+        idx = len(self.nodes)
+        defs: Tuple[str, ...] = ()
+        if stmt is not None:
+            defs = tuple(_stmt_defs(stmt))
+        self.nodes.append(CFGNode(idx, stmt, kind, defs))
+        self.succ[idx] = set()
+        return idx
+
+    def _edge(self, a: int, b: int) -> None:
+        self.succ[a].add(b)
+
+    # -- queries -----------------------------------------------------------
+
+    def statement_nodes(self) -> Iterator[CFGNode]:
+        for node in self.nodes:
+            if node.kind == "stmt" and node.stmt is not None:
+                yield node
+
+    def path_avoiding(
+        self,
+        start: int,
+        target: int,
+        blocked: Callable[[CFGNode], bool],
+        *,
+        include_start: bool = False,
+    ) -> bool:
+        """True if ``target`` is reachable from ``start`` without touching a
+        node for which ``blocked`` holds.
+
+        ``start`` itself is exempt from ``blocked`` unless
+        ``include_start``; ``target`` is never tested against ``blocked``
+        (reaching it at all is the answer).
+        """
+        if include_start and blocked(self.nodes[start]):
+            return start == target
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            cur = frontier.pop()
+            for nxt in self.succ[cur]:
+                if nxt == target:
+                    return True
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                if blocked(self.nodes[nxt]):
+                    continue
+                frontier.append(nxt)
+        return False
+
+    def every_path_passes(
+        self, start: int, target: int, barrier: Callable[[CFGNode], bool]
+    ) -> bool:
+        """True if every ``start``→``target`` path crosses a barrier node."""
+        return not self.path_avoiding(start, target, barrier)
+
+
+def _stmt_defs(stmt: ast.AST) -> Iterator[str]:
+    """Dotted paths (re)defined by one statement, shallowly."""
+    if isinstance(stmt, ast.ExceptHandler):
+        if stmt.name:
+            yield stmt.name
+        return
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            yield from assigned_paths(target)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        yield from assigned_paths(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield from assigned_paths(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                yield from assigned_paths(item.optional_vars)
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            if alias.name != "*":
+                yield alias.asname or alias.name.split(".")[0]
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        yield stmt.name
+
+
+@dataclass
+class _Frame:
+    """Loop / handler context while lowering statements into the graph."""
+
+    #: Per enclosing loop: the set collecting its ``break`` nodes.
+    break_sets: List[Set[int]] = field(default_factory=list)
+    continue_to: List[int] = field(default_factory=list)
+    #: First node of each live except-handler (innermost try last).
+    handlers: List[List[int]] = field(default_factory=list)
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of one (async) function definition."""
+    cfg = CFG(func)
+    frame = _Frame()
+    body = getattr(func, "body", [])
+    frontier = _lower_block(cfg, body, {cfg.entry}, frame)
+    for idx in frontier:
+        cfg._edge(idx, cfg.exit)
+    return cfg
+
+
+def _lower_block(
+    cfg: CFG, stmts: Sequence[ast.stmt], frontier: Set[int], frame: _Frame
+) -> Set[int]:
+    """Lower a statement list; returns the dangling frontier."""
+    for stmt in stmts:
+        if not frontier:
+            break  # unreachable code after return/raise/break
+        frontier = _lower_stmt(cfg, stmt, frontier, frame)
+    return frontier
+
+
+def _attach(cfg: CFG, frontier: Set[int], idx: int, frame: _Frame) -> None:
+    for prev in frontier:
+        cfg._edge(prev, idx)
+    # Any statement inside a try body may raise into the live handlers.
+    for handler_heads in frame.handlers:
+        for head in handler_heads:
+            cfg._edge(idx, head)
+
+
+def _lower_stmt(
+    cfg: CFG, stmt: ast.stmt, frontier: Set[int], frame: _Frame
+) -> Set[int]:
+    if isinstance(stmt, (ast.If,)):
+        idx = cfg._new_node(stmt)
+        _attach(cfg, frontier, idx, frame)
+        then_f = _lower_block(cfg, stmt.body, {idx}, frame)
+        else_f = _lower_block(cfg, stmt.orelse, {idx}, frame) if stmt.orelse else {idx}
+        return then_f | else_f
+
+    if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+        head = cfg._new_node(stmt)
+        _attach(cfg, frontier, head, frame)
+        breaks: Set[int] = set()
+        frame.break_sets.append(breaks)
+        frame.continue_to.append(head)
+        body_f = _lower_block(cfg, stmt.body, {head}, frame)
+        for idx in body_f:
+            cfg._edge(idx, head)  # back edge
+        frame.break_sets.pop()
+        frame.continue_to.pop()
+        out: Set[int] = {head} | breaks
+        if stmt.orelse:
+            out = _lower_block(cfg, stmt.orelse, {head}, frame) | breaks
+        return out
+
+    if isinstance(stmt, ast.Try):
+        # Handler head nodes exist before the body is lowered so body
+        # statements can point at them.
+        handler_heads: List[int] = []
+        handler_nodes: List[Tuple[int, ast.ExceptHandler]] = []
+        for handler in stmt.handlers:
+            h_idx = cfg._new_node(handler)
+            handler_heads.append(h_idx)
+            handler_nodes.append((h_idx, handler))
+        frame.handlers.append(handler_heads)
+        body_f = _lower_block(cfg, stmt.body, frontier, frame)
+        frame.handlers.pop()
+        if stmt.orelse:
+            body_f = _lower_block(cfg, stmt.orelse, body_f, frame)
+        out = set(body_f)
+        for h_idx, handler in handler_nodes:
+            out |= _lower_block(cfg, handler.body, {h_idx}, frame)
+        if stmt.finalbody:
+            out = _lower_block(cfg, stmt.finalbody, out, frame)
+        return out
+
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        idx = cfg._new_node(stmt)
+        _attach(cfg, frontier, idx, frame)
+        return _lower_block(cfg, stmt.body, {idx}, frame)
+
+    if isinstance(stmt, ast.Return):
+        idx = cfg._new_node(stmt)
+        _attach(cfg, frontier, idx, frame)
+        cfg._edge(idx, cfg.exit)
+        return set()
+
+    if isinstance(stmt, ast.Raise):
+        idx = cfg._new_node(stmt)
+        _attach(cfg, frontier, idx, frame)
+        if frame.handlers:
+            for head in frame.handlers[-1]:
+                cfg._edge(idx, head)
+        else:
+            cfg._edge(idx, cfg.raise_exit)
+        return set()
+
+    if isinstance(stmt, ast.Break):
+        idx = cfg._new_node(stmt)
+        _attach(cfg, frontier, idx, frame)
+        if frame.break_sets:
+            frame.break_sets[-1].add(idx)
+        return set()
+
+    if isinstance(stmt, ast.Continue):
+        idx = cfg._new_node(stmt)
+        _attach(cfg, frontier, idx, frame)
+        if frame.continue_to:
+            cfg._edge(idx, frame.continue_to[-1])
+        return set()
+
+    if isinstance(stmt, ast.Assert):
+        idx = cfg._new_node(stmt)
+        _attach(cfg, frontier, idx, frame)
+        cfg._edge(idx, cfg.raise_exit)
+        return {idx}
+
+    # Plain statement (incl. nested def/class, which we do not descend into).
+    idx = cfg._new_node(stmt)
+    _attach(cfg, frontier, idx, frame)
+    return {idx}
+
+
+class ReachingDefs:
+    """Classic forward may-analysis: which defs of a dotted path reach a use.
+
+    ``defs_reaching(node, path)`` returns the set of CFG node indices whose
+    statement (re)defined ``path`` last on *some* path to ``node``.  An
+    empty set means no definition inside this function reaches it — the
+    value came in from outside the scope (parameter, closure, attribute
+    set elsewhere), which is exactly the "not freshly constructed here"
+    signal CONC-003 keys on.
+    """
+
+    def __init__(self, cfg: CFG, param_names: Sequence[str] = ()) -> None:
+        self.cfg = cfg
+        # def site -> path it defines; the entry node "defines" parameters.
+        self._in: Dict[int, Dict[str, Set[int]]] = {}
+        all_defs: Dict[str, Set[int]] = {}
+        for node in cfg.nodes:
+            for path in node.defs:
+                all_defs.setdefault(path, set()).add(node.index)
+        out: Dict[int, Dict[str, Set[int]]] = {
+            n.index: {} for n in cfg.nodes
+        }
+        preds: Dict[int, Set[int]] = {n.index: set() for n in cfg.nodes}
+        for a, bs in cfg.succ.items():
+            for b in bs:
+                preds[b].add(a)
+        work = [n.index for n in cfg.nodes]
+        while work:
+            idx = work.pop()
+            merged: Dict[str, Set[int]] = {}
+            for p in preds[idx]:
+                for path, sites in out[p].items():
+                    merged.setdefault(path, set()).update(sites)
+            self._in[idx] = merged
+            node = cfg.nodes[idx]
+            new_out: Dict[str, Set[int]] = {
+                k: set(v) for k, v in merged.items()
+            }
+            for path in node.defs:
+                new_out[path] = {idx}
+                # Redefining `a` kills knowledge of `a.b` (new object).
+                for other in list(new_out):
+                    if other.startswith(path + "."):
+                        new_out[other] = {idx}
+            if new_out != out[idx]:
+                out[idx] = new_out
+                work.extend(self.cfg.succ[idx])
+
+    def defs_reaching(self, node_index: int, path: str) -> Set[int]:
+        return set(self._in.get(node_index, {}).get(path, set()))

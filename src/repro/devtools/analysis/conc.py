@@ -1,0 +1,473 @@
+"""CONC-*: fork/concurrency safety rules.
+
+The service layer's crash-safety story (PR 7) rests on three process-model
+conventions that nothing but review used to enforce:
+
+* **CONC-001** — nothing holding a ``threading`` primitive (or a live
+  ``SharedMemory`` handle) crosses a fork boundary.  A forked child
+  inherits the lock *state* but not the owning thread: a lock held at
+  fork time deadlocks the child forever.  Workers receive plain data,
+  ``mp.Queue``\\ s, or shm *specs* — never lock-holding composites.
+* **CONC-002** — worker-side code never mutates supervisor-owned state.
+  After ``fork`` the worker's memory is a copy: assigning to the
+  registry, a ``global``, or any parent-side structure silently diverges
+  from the parent's view.  Changes travel over the outbox queue.
+* **CONC-003** — queue objects are never reused across worker
+  generations.  A SIGKILLed worker can die *holding the queue's shared
+  reader lock* (``Queue.get`` holds it while polling), wedging any
+  successor handed the same queue.  This was a real PR 7 bug; the rule
+  is its regression test generalized to the whole tree.
+
+Detection is dataflow-based, not name-based: a queue argument is "fresh"
+only if a ``Queue(...)`` construction in the same scope *reaches* the
+spawn site (:class:`~repro.devtools.analysis.cfg.ReachingDefs`), and the
+one-level call summaries let a restart helper that spawns with
+caller-supplied queues transfer the obligation to its caller.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..findings import Finding, RULES
+from .cfg import CFG, CFGNode, dotted_name
+from .project import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    THREAD_PRIMITIVE_CALLS,
+    is_fork_spawn,
+    is_queue_constructor,
+    spawn_payload_args,
+    spawn_target,
+)
+
+__all__ = ["check_conc"]
+
+#: Function names that signal "this scope handles a dead worker".
+_RESTART_NAME_RE = re.compile(
+    r"(^|_)(restart|respawn|revive)|on_\w*death|worker_death"
+)
+
+#: Method leaves that mutate a registry-like object in place.
+_MUTATOR_LEAVES = frozenset(
+    {"add", "remove", "update", "pop", "clear", "setdefault", "register",
+     "deregister", "put", "discard"}
+)
+
+#: Receiver roots that mark supervisor-owned state in worker code.
+_SUPERVISOR_TOKENS = ("registry", "supervisor")
+
+
+def _emit(
+    module: ModuleInfo, rule_id: str, node: ast.AST, message: str
+) -> Finding:
+    rule = RULES[rule_id]
+    lineno = getattr(node, "lineno", 1)
+    lines = module.source.splitlines()
+    snippet = lines[lineno - 1].strip() if 1 <= lineno <= len(lines) else ""
+    return Finding(
+        rule=rule_id,
+        severity=rule.severity,
+        path=module.path,
+        line=lineno,
+        col=getattr(node, "col_offset", 0) + 1,
+        message=message,
+        fix_hint=rule.fix_hint,
+        snippet=snippet,
+        end_line=getattr(node, "end_lineno", lineno) or lineno,
+    )
+
+
+def check_conc(module: ModuleInfo, project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    worker_entries = _worker_entry_functions(project)
+    for fn in module.functions:
+        findings.extend(_check_fork_captures(module, project, fn))
+        findings.extend(_check_queue_generations(module, project, fn))
+    for fn in module.functions:
+        if fn in worker_entries:
+            findings.extend(_check_worker_mutations(module, fn))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# CONC-001: lock-holding values crossing the fork boundary
+# ----------------------------------------------------------------------
+
+
+def _check_fork_captures(
+    module: ModuleInfo, project: Project, fn: FunctionInfo
+) -> List[Finding]:
+    findings: List[Finding] = []
+    imports = module.imports
+    cfg = fn.cfg
+    for node in cfg.statement_nodes():
+        for call in node.calls():
+            if not is_fork_spawn(call, imports):
+                continue
+            for arg in spawn_payload_args(call):
+                reason = _traces_to_primitive(module, project, fn, node, arg)
+                if reason:
+                    findings.append(
+                        _emit(
+                            module,
+                            "CONC-001",
+                            arg,
+                            f"{reason} is shipped across a fork boundary: "
+                            "the child inherits the lock state but not its "
+                            "owner",
+                        )
+                    )
+            target = spawn_target(call)
+            if target is not None:
+                findings.extend(
+                    _check_closure_capture(module, project, fn, node, target)
+                )
+    return findings
+
+
+def _traces_to_primitive(
+    module: ModuleInfo,
+    project: Project,
+    fn: FunctionInfo,
+    node: CFGNode,
+    arg: ast.expr,
+) -> Optional[str]:
+    """Why ``arg`` holds a thread primitive, or None if untraceable."""
+    if isinstance(arg, ast.Call):
+        qual = module.imports.qualname(arg.func)
+        if qual in THREAD_PRIMITIVE_CALLS:
+            return f"a fresh {qual}()"
+        cls = _class_with_primitives(module, project, qual)
+        if cls:
+            return f"a {cls[0]} instance (holds {', '.join(sorted(cls[1]))})"
+        return None
+    path = dotted_name(arg)
+    if not path:
+        return None
+    for def_idx in fn.reaching.defs_reaching(node.index, path):
+        value = _def_value(fn.cfg, def_idx, path)
+        if isinstance(value, ast.Call):
+            qual = module.imports.qualname(value.func)
+            if qual in THREAD_PRIMITIVE_CALLS:
+                return f"{path} (constructed as {qual}())"
+            cls = _class_with_primitives(module, project, qual)
+            if cls:
+                return (
+                    f"{path} (a {cls[0]} holding "
+                    f"{', '.join(sorted(cls[1]))})"
+                )
+    return None
+
+
+def _class_with_primitives(
+    module: ModuleInfo, project: Project, qual: str
+) -> Optional[Tuple[str, Set[str]]]:
+    """(class_name, primitive_fields) when ``qual`` names such a class."""
+    if not qual:
+        return None
+    leaf = qual.rsplit(".", 1)[-1]
+    for mod in project.modules:
+        fields = mod.class_primitive_fields.get(leaf)
+        if fields:
+            return leaf, fields
+    return None
+
+
+def _def_value(cfg: CFG, def_idx: int, path: str) -> Optional[ast.expr]:
+    stmt = cfg.nodes[def_idx].stmt
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if dotted_name(target) == path:
+                return stmt.value
+        # tuple unpacking etc. — give up rather than mis-attribute
+        return None
+    if isinstance(stmt, ast.AnnAssign) and dotted_name(stmt.target) == path:
+        return stmt.value
+    return None
+
+
+def _check_closure_capture(
+    module: ModuleInfo,
+    project: Project,
+    fn: FunctionInfo,
+    node: CFGNode,
+    target: ast.expr,
+) -> List[Finding]:
+    """Nested spawn target closing over a lock-holding local."""
+    findings: List[Finding] = []
+    if not isinstance(target, ast.Name):
+        return findings
+    nested = next(
+        (
+            sub
+            for sub in ast.walk(fn.node)
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and sub.name == target.id
+            and sub is not fn.node
+        ),
+        None,
+    )
+    if nested is None:
+        return findings
+    local = _local_names(nested)
+    free = {
+        sub.id
+        for sub in ast.walk(nested)
+        if isinstance(sub, ast.Name)
+        and isinstance(sub.ctx, ast.Load)
+        and sub.id not in local
+    }
+    for name in sorted(free):
+        reason = _traces_to_primitive(module, project, fn, node, ast.Name(
+            id=name, ctx=ast.Load(), lineno=target.lineno,
+            col_offset=target.col_offset,
+        ))
+        if reason:
+            findings.append(
+                _emit(
+                    module,
+                    "CONC-001",
+                    target,
+                    f"fork target {target.id}() closes over {reason}",
+                )
+            )
+    return findings
+
+
+def _local_names(func: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    args = getattr(func, "args", None)
+    if args is not None:
+        names.update(a.arg for a in args.posonlyargs)
+        names.update(a.arg for a in args.args)
+        names.update(a.arg for a in args.kwonlyargs)
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+    for sub in ast.walk(func):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            names.add(sub.id)
+    return names
+
+
+# ----------------------------------------------------------------------
+# CONC-002: worker-side mutation of supervisor-owned state
+# ----------------------------------------------------------------------
+
+
+def _worker_entry_functions(project: Project) -> Set[FunctionInfo]:
+    """Functions used as ``Process(target=...)`` anywhere in the project,
+    plus their same-module direct callees (one level)."""
+    entries: Set[FunctionInfo] = set()
+    for mod in project.modules:
+        for fn in mod.functions:
+            for node in fn.cfg.statement_nodes():
+                for call in node.calls():
+                    if not is_fork_spawn(call, mod.imports):
+                        continue
+                    target = spawn_target(call)
+                    if target is None:
+                        continue
+                    name = (
+                        target.id
+                        if isinstance(target, ast.Name)
+                        else target.attr
+                        if isinstance(target, ast.Attribute)
+                        else ""
+                    )
+                    for cand in project.function_named(name):
+                        entries.add(cand)
+    # One level of same-module callees: a worker entry that delegates its
+    # body to helpers keeps those helpers on the worker side.
+    for entry in list(entries):
+        for sub in ast.walk(entry.node):
+            if isinstance(sub, ast.Call):
+                resolved = entry.module.functions
+                callee_name = (
+                    sub.func.id if isinstance(sub.func, ast.Name) else ""
+                )
+                for cand in resolved:
+                    if callee_name and cand.name == callee_name:
+                        entries.add(cand)
+    return entries
+
+
+def _check_worker_mutations(
+    module: ModuleInfo, fn: FunctionInfo
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for sub in ast.walk(fn.node):
+        if isinstance(sub, ast.Global):
+            findings.append(
+                _emit(
+                    module,
+                    "CONC-002",
+                    sub,
+                    f"worker-side function {fn.name}() declares "
+                    f"global {', '.join(sub.names)}: after fork the write "
+                    "only changes the worker's copy",
+                )
+            )
+        elif isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            recv = dotted_name(sub.func.value)
+            if _is_supervisor_owned(recv) and sub.func.attr in _MUTATOR_LEAVES:
+                findings.append(
+                    _emit(
+                        module,
+                        "CONC-002",
+                        sub,
+                        f"worker-side call {recv}.{sub.func.attr}(...) "
+                        "mutates supervisor-owned state the parent will "
+                        "never see",
+                    )
+                )
+        elif isinstance(sub, (ast.Assign, ast.AugAssign)):
+            targets = (
+                sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            )
+            for target in targets:
+                base = target
+                while isinstance(base, (ast.Attribute, ast.Subscript)):
+                    base = base.value
+                recv = dotted_name(target if isinstance(target, ast.Attribute) else base)
+                if recv and _is_supervisor_owned(recv) and target is not base:
+                    findings.append(
+                        _emit(
+                            module,
+                            "CONC-002",
+                            sub,
+                            f"worker-side store to {recv} mutates "
+                            "supervisor-owned state the parent will never "
+                            "see",
+                        )
+                    )
+    return findings
+
+
+def _is_supervisor_owned(recv: str) -> bool:
+    tokens = recv.lower().split(".")
+    return any(
+        any(marker in tok for marker in _SUPERVISOR_TOKENS) for tok in tokens
+    )
+
+
+# ----------------------------------------------------------------------
+# CONC-003: queue reuse across worker generations
+# ----------------------------------------------------------------------
+
+
+def _check_queue_generations(
+    module: ModuleInfo, project: Project, fn: FunctionInfo
+) -> List[Finding]:
+    findings: List[Finding] = []
+    if not _observes_worker_death(fn):
+        return findings
+    cfg = fn.cfg
+    for node in cfg.statement_nodes():
+        for call in node.calls():
+            if is_fork_spawn(call, module.imports):
+                for arg in spawn_payload_args(call):
+                    path = dotted_name(arg)
+                    if not path or not _queueish_path(path):
+                        continue
+                    if not _fresh_queue_reaches(module, fn, node, path):
+                        findings.append(
+                            _emit(
+                                module,
+                                "CONC-003",
+                                arg,
+                                f"respawn passes {path} to the new worker "
+                                "but no fresh Queue() construction reaches "
+                                "this spawn — a queue inherited from the "
+                                "dead generation can arrive with its reader "
+                                "lock held",
+                            )
+                        )
+                continue
+            # One level out: a helper that spawns with caller queues moves
+            # the freshness obligation here.
+            callee = project.resolve_local_call(module, call)
+            if callee is None or callee is fn:
+                continue
+            summary = callee.summary()
+            if not summary.spawn_queue_args:
+                continue
+            mapping = _map_args_to_params(call, callee)
+            for qpath in summary.spawn_queue_args:
+                root, _, rest = qpath.partition(".")
+                caller_expr = mapping.get(root)
+                if caller_expr is None:
+                    continue
+                caller_base = dotted_name(caller_expr)
+                if not caller_base:
+                    continue
+                caller_path = f"{caller_base}.{rest}" if rest else caller_base
+                if not _fresh_queue_reaches(module, fn, node, caller_path):
+                    findings.append(
+                        _emit(
+                            module,
+                            "CONC-003",
+                            call,
+                            f"{callee.name}() respawns a worker with "
+                            f"{caller_path}, which was not re-created in "
+                            "this death-handling scope — fresh queues per "
+                            "worker generation",
+                        )
+                    )
+    return findings
+
+
+def _observes_worker_death(fn: FunctionInfo) -> bool:
+    if _RESTART_NAME_RE.search(fn.name):
+        return True
+    for node in fn.cfg.statement_nodes():
+        for expr in node.own_exprs():
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Call) and isinstance(
+                    sub.func, ast.Attribute
+                ):
+                    if sub.func.attr in ("terminate", "kill"):
+                        return True
+                elif isinstance(sub, ast.Attribute) and sub.attr == "exitcode":
+                    return True
+    return False
+
+
+def _queueish_path(path: str) -> bool:
+    tokens = path.lower().replace("_", ".").split(".")
+    return any(
+        tok in ("queue", "inbox", "outbox", "mailbox", "q") for tok in tokens
+    )
+
+
+def _fresh_queue_reaches(
+    module: ModuleInfo, fn: FunctionInfo, node: CFGNode, path: str
+) -> bool:
+    for def_idx in fn.reaching.defs_reaching(node.index, path):
+        value = _def_value(fn.cfg, def_idx, path)
+        if isinstance(value, ast.Call) and is_queue_constructor(
+            module.imports.qualname(value.func)
+        ):
+            return True
+    return False
+
+
+def _map_args_to_params(
+    call: ast.Call, callee: FunctionInfo
+) -> Dict[str, ast.expr]:
+    """Caller expression for each callee parameter name (positional only)."""
+    params = callee.params
+    if callee.class_name is not None and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    mapping = {}
+    for param, arg in zip(params, call.args):
+        mapping[param] = arg
+    for kw in call.keywords:
+        if kw.arg:
+            mapping[kw.arg] = kw.value
+    return mapping

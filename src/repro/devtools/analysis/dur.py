@@ -1,0 +1,330 @@
+"""DUR-*: durability-ordering rules for the WAL/snapshot/checkpoint protocol.
+
+The service's contract is *acked means durable*: an ingest ack, a
+snapshot rename, or a checkpoint row must never be un-happened by a
+crash.  Mechanically that is three orderings, checked here on the CFG:
+
+* **DUR-001** — data fsync dominates every rename-into-place.  Renaming
+  an unfsynced tempfile publishes a name whose *contents* may still be
+  in the page cache; a crash leaves a verifiable-looking path holding
+  garbage.  ``every path entry → rename must cross an fsync``.
+* **DUR-002** — no normal exit is reachable from a durable write without
+  crossing an fsync.  Returning (= acking) after ``fh.write`` but before
+  ``os.fsync`` means the ack can outlive the data.  Exception exits are
+  exempt: raising is not an ack.
+* **DUR-003** — creating or renaming a file must be followed by a
+  *directory* fsync somewhere before exit.  ``os.fsync(fh)`` persists the
+  bytes, not the directory entry; after a host crash the file itself can
+  vanish.  This rule is a reachability check (is a dir-fsync reachable at
+  all?) rather than an all-paths check, so the cheap idiom "fsync the
+  directory only when the open actually created the file" stays legal.
+
+Scope: modules whose stem is wal/snapshot/checkpoint or that live under a
+``service`` directory (:func:`~.project.is_durable_module`).  File
+handles are traced by provenance, not name: a receiver counts as durable
+only when its reaching definitions include an ``open()`` (or a local
+helper whose summary says it returns a handle it opened), so
+``sys.stderr.write`` and socket writes never trip the rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, List, Optional, Set
+
+from ..findings import Finding, RULES
+from .cfg import CFG, CFGNode, dotted_name
+from .project import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    body_has_direct_fsync,
+    is_durable_module,
+    resolve_in_module,
+)
+
+__all__ = ["check_dur"]
+
+#: Method names that ack/flush durable state when resolved to a class in a
+#: durable module; used for the cross-object leg of DUR-002.
+_DURABLE_METHOD_LEAVES = frozenset({"append", "save", "write", "commit"})
+
+#: Receiver-chain tokens that mark a rename receiver as filesystem-ish
+#: (so ``some_string.replace(...)`` is never mistaken for a file rename).
+_PATHISH_TOKENS = ("path", "tmp", "file", "dest", "dst", "seg", "snap")
+
+
+def _emit(module: ModuleInfo, rule_id: str, node: ast.AST, message: str) -> Finding:
+    rule = RULES[rule_id]
+    lineno = getattr(node, "lineno", 1)
+    lines = module.source.splitlines()
+    snippet = lines[lineno - 1].strip() if 1 <= lineno <= len(lines) else ""
+    return Finding(
+        rule=rule_id,
+        severity=rule.severity,
+        path=module.path,
+        line=lineno,
+        col=getattr(node, "col_offset", 0) + 1,
+        message=message,
+        fix_hint=rule.fix_hint,
+        snippet=snippet,
+        end_line=getattr(node, "end_lineno", lineno) or lineno,
+    )
+
+
+def check_dur(module: ModuleInfo, project: Project) -> List[Finding]:
+    if not is_durable_module(module):
+        return []
+    findings: List[Finding] = []
+    for fn in module.functions:
+        findings.extend(_check_function(module, project, fn))
+    return findings
+
+
+def _check_function(
+    module: ModuleInfo, project: Project, fn: FunctionInfo
+) -> List[Finding]:
+    findings: List[Finding] = []
+    cfg = fn.cfg
+
+    strict = _strict_fsync_predicate(module, project, fn)
+    dir_fsync = _dir_fsync_predicate(module, project, fn)
+
+    rename_nodes: List[CFGNode] = []
+    create_nodes: List[CFGNode] = []
+    write_nodes: List[CFGNode] = []
+    unfenced_calls: List[CFGNode] = []
+
+    for node in cfg.statement_nodes():
+        for call in node.calls():
+            if _is_rename_call(call, module):
+                rename_nodes.append(node)
+                create_nodes.append(node)  # rename also creates a dir entry
+            elif _is_creating_open(call, module):
+                create_nodes.append(node)
+            elif _is_durable_write(call, module, fn, node):
+                write_nodes.append(node)
+            else:
+                callee = _resolved_durable_callee(call, module, project)
+                if callee is not None:
+                    summary = callee.summary()
+                    if not summary.fsyncs_all_exits:
+                        unfenced_calls.append(node)
+
+    # DUR-001: fsync dominates the rename.
+    for node in rename_nodes:
+        if cfg.path_avoiding(cfg.entry, node.index, strict):
+            findings.append(
+                _emit(
+                    module,
+                    "DUR-001",
+                    node.stmt if node.stmt is not None else ast.Pass(),
+                    "rename-into-place is reachable without an os.fsync of "
+                    "the data: a crash can publish a name whose contents "
+                    "never left the page cache",
+                )
+            )
+
+    # DUR-002: no normal exit after an unfsynced durable write.
+    for node in write_nodes:
+        if cfg.path_avoiding(node.index, cfg.exit, strict):
+            findings.append(
+                _emit(
+                    module,
+                    "DUR-002",
+                    node.stmt if node.stmt is not None else ast.Pass(),
+                    "a normal return (= ack) is reachable after this durable "
+                    "write with no os.fsync in between — the ack can outlive "
+                    "the data",
+                )
+            )
+    for node in unfenced_calls:
+        if cfg.path_avoiding(node.index, cfg.exit, strict):
+            findings.append(
+                _emit(
+                    module,
+                    "DUR-002",
+                    node.stmt if node.stmt is not None else ast.Pass(),
+                    "this durable call does not fsync on all of its exits "
+                    "and no fsync fences it before a normal return here",
+                )
+            )
+
+    # DUR-003: a directory fsync must be reachable after every create/rename.
+    for node in create_nodes:
+        if not _reaches(cfg, node.index, dir_fsync):
+            findings.append(
+                _emit(
+                    module,
+                    "DUR-003",
+                    node.stmt if node.stmt is not None else ast.Pass(),
+                    "a new directory entry is created here but no directory "
+                    "fsync is reachable before exit — after a host crash the "
+                    "file itself can vanish",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# barrier predicates
+# ----------------------------------------------------------------------
+
+
+def _strict_fsync_predicate(
+    module: ModuleInfo, project: Project, fn: FunctionInfo
+) -> Callable[[CFGNode], bool]:
+    """Node performs a data fsync: direct ``os.fsync``, a same-module helper
+    that directly fsyncs, or a resolved durable method that fsyncs on all
+    of its exits (one level, by design)."""
+
+    def barrier(node: CFGNode) -> bool:
+        for call in node.calls():
+            qual = module.imports.qualname(call.func)
+            if qual == "os.fsync":
+                return True
+            callee = resolve_in_module(module, call)
+            if callee is not None and callee is not fn and body_has_direct_fsync(callee):
+                return True
+            resolved = project.resolve_method_call(call, durable_only=True)
+            if resolved is not None and resolved.summary().fsyncs_all_exits:
+                return True
+        return False
+
+    return barrier
+
+
+def _dir_fsync_predicate(
+    module: ModuleInfo, project: Project, fn: FunctionInfo
+) -> Callable[[CFGNode], bool]:
+    """Node plausibly fsyncs a *directory* entry, not just file data.
+
+    ``os.fsync(fh.fileno())`` persists bytes, never the directory entry,
+    so a direct ``os.fsync`` only counts when its argument is NOT a
+    ``.fileno()`` of a written handle (``os.fsync(fd)`` on a directory fd
+    does count).  Helper idioms count too: any call whose name leaf
+    mentions ``fsync`` (``_fsync_dir`` — local or imported), a same-module
+    helper that directly fsyncs, or a resolved durable method whose
+    summary fsyncs (``write_atomic`` does its own dir fsync)."""
+
+    def barrier(node: CFGNode) -> bool:
+        for call in node.calls():
+            qual = module.imports.qualname(call.func)
+            leaf = qual.rsplit(".", 1)[-1] if qual else ""
+            if qual == "os.fsync":
+                arg = call.args[0] if call.args else None
+                data_only = (
+                    isinstance(arg, ast.Call)
+                    and isinstance(arg.func, ast.Attribute)
+                    and arg.func.attr == "fileno"
+                )
+                if not data_only:
+                    return True
+                continue
+            if "fsync" in leaf.lower():
+                return True
+            callee = resolve_in_module(module, call)
+            if callee is not None and callee is not fn and body_has_direct_fsync(callee):
+                return True
+            resolved = project.resolve_method_call(call, durable_only=True)
+            if resolved is not None and resolved.summary().calls_fsync:
+                return True
+        return False
+
+    return barrier
+
+
+def _reaches(cfg: CFG, start: int, pred: Callable[[CFGNode], bool]) -> bool:
+    """Is a node satisfying ``pred`` reachable from ``start`` (exclusive)?"""
+    seen: Set[int] = {start}
+    frontier = [start]
+    while frontier:
+        cur = frontier.pop()
+        for nxt in cfg.succ[cur]:
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            if pred(cfg.nodes[nxt]):
+                return True
+            frontier.append(nxt)
+    return False
+
+
+# ----------------------------------------------------------------------
+# event detection
+# ----------------------------------------------------------------------
+
+
+def _is_rename_call(call: ast.Call, module: ModuleInfo) -> bool:
+    qual = module.imports.qualname(call.func)
+    if qual in ("os.rename", "os.replace"):
+        return True
+    if isinstance(call.func, ast.Attribute) and call.func.attr in (
+        "rename",
+        "replace",
+    ):
+        recv = dotted_name(call.func.value).lower()
+        if not recv:
+            return False
+        tokens = recv.replace("_", ".").split(".")
+        return any(
+            any(mark in tok for mark in _PATHISH_TOKENS) for tok in tokens
+        )
+    return False
+
+
+def _is_creating_open(call: ast.Call, module: ModuleInfo) -> bool:
+    """An ``open`` that can create a directory entry (mode has w/x/a)."""
+    qual = module.imports.qualname(call.func)
+    mode: Optional[ast.expr] = None
+    if qual in ("open", "io.open"):
+        if len(call.args) >= 2:
+            mode = call.args[1]
+    elif isinstance(call.func, ast.Attribute) and call.func.attr == "open":
+        if call.args:
+            mode = call.args[0]
+    else:
+        return False
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if not isinstance(mode, ast.Constant) or not isinstance(mode.value, str):
+        return False
+    return bool(set(mode.value) & {"w", "x", "a"})
+
+
+def _is_durable_write(
+    call: ast.Call, module: ModuleInfo, fn: FunctionInfo, node: CFGNode
+) -> bool:
+    """``fh.write(...)`` where ``fh`` provably came from an ``open``."""
+    if not isinstance(call.func, ast.Attribute):
+        return False
+    if call.func.attr not in ("write", "writelines"):
+        return False
+    recv = dotted_name(call.func.value)
+    if not recv or recv.split(".", 1)[0] == "sys":
+        return False
+    for def_idx in fn.reaching.defs_reaching(node.index, recv):
+        def_node = fn.cfg.nodes[def_idx]
+        for dcall in def_node.calls():
+            qual = module.imports.qualname(dcall.func)
+            if qual in ("open", "os.fdopen", "io.open"):
+                return True
+            if isinstance(dcall.func, ast.Attribute) and dcall.func.attr == "open":
+                return True
+            callee = resolve_in_module(module, dcall)
+            if callee is not None and callee.summary().returns_file_handle:
+                return True
+    return False
+
+
+def _resolved_durable_callee(
+    call: ast.Call, module: ModuleInfo, project: Project
+) -> Optional[FunctionInfo]:
+    """The durable-module method this call provably lands on, if its leaf
+    is one of the ack-ish names."""
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    if call.func.attr not in _DURABLE_METHOD_LEAVES:
+        return None
+    return project.resolve_method_call(call, durable_only=True)

@@ -1,0 +1,442 @@
+"""NAT-*: native-kernel contract rules.
+
+The C chain-walk kernel is bound through :mod:`ctypes`, which performs
+no checking whatsoever: an ``argtypes`` list that disagrees with the C
+prototype in arity, integer width or pointer-ness silently truncates or
+misreads arguments and corrupts the walk (or the heap).  These rules
+make the binding a *checked* contract:
+
+* **NAT-001** — every ``fn.argtypes``/``fn.restype`` declaration must
+  match the C definition of the bound symbol: same arity, pointer
+  parameters bound as pointers (``c_void_p`` matches any pointer,
+  ``POINTER(T)`` must match the pointee), scalar widths equal.
+* **NAT-002** — every non-``static`` function the C file exports must
+  have a ctypes binding in the referencing module.  Unbound exports have
+  no checked contract at all, which is how a signature skew lands
+  unnoticed.
+* **NAT-003** — every ``*_native`` entry point needs a ``*_python``
+  fallback twin (same class or module scope): the kernel is a throughput
+  lever, never a semantics change, and the twin is what parity tests
+  diff against.
+
+The checker finds the C source the same way the binding module does: a
+string constant ending in ``.c`` (``Path(__file__).with_name("_soa_kernel.c")``)
+resolved next to the module file.  Prototype parsing is a small
+comment-stripping regex pass — enough for the kernel's C dialect (no
+function pointers, no macros in signatures); anything it cannot parse is
+skipped rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..findings import Finding, RULES
+from .project import ModuleInfo, Project
+
+__all__ = ["check_nat", "parse_c_exports"]
+
+
+def _emit(
+    module: ModuleInfo, rule_id: str, line: int, message: str, end_line: int = 0
+) -> Finding:
+    rule = RULES[rule_id]
+    lines = module.source.splitlines()
+    snippet = lines[line - 1].strip() if 1 <= line <= len(lines) else ""
+    return Finding(
+        rule=rule_id,
+        severity=rule.severity,
+        path=module.path,
+        line=line,
+        col=1,
+        message=message,
+        fix_hint=rule.fix_hint,
+        snippet=snippet,
+        end_line=end_line or line,
+    )
+
+
+# ----------------------------------------------------------------------
+# C prototype parsing
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CParam:
+    text: str
+    is_pointer: bool
+    kind: str  # "i64", "u64", "f64", ... or "?" when unrecognized
+
+
+@dataclass
+class CExport:
+    name: str
+    params: List[CParam]
+    ret_is_pointer: bool
+    ret_kind: str  # "void", "i64", ... or "?"
+
+
+_COMMENT_RE = re.compile(r"/\*.*?\*/|//[^\n]*", re.DOTALL)
+_FUNC_RE = re.compile(
+    r"(?:^|\n)\s*([A-Za-z_][A-Za-z0-9_ \t]*?[\s\*]+)([A-Za-z_]\w*)\s*\(([^()]*)\)\s*\{"
+)
+_C_KEYWORDS = frozenset({"if", "for", "while", "switch", "return", "do", "else", "sizeof"})
+
+#: C type spellings -> width/signedness kind token.
+_C_KINDS: Dict[str, str] = {
+    "int64_t": "i64",
+    "long long": "i64",
+    "long long int": "i64",
+    "uint64_t": "u64",
+    "unsigned long long": "u64",
+    "size_t": "u64",
+    "int32_t": "i32",
+    "int": "i32",
+    "uint32_t": "u32",
+    "unsigned int": "u32",
+    "unsigned": "u32",
+    "int16_t": "i16",
+    "short": "i16",
+    "uint16_t": "u16",
+    "int8_t": "i8",
+    "signed char": "i8",
+    "uint8_t": "u8",
+    "unsigned char": "u8",
+    "char": "char",
+    "double": "f64",
+    "float": "f32",
+    "_Bool": "bool",
+    "bool": "bool",
+    "void": "void",
+}
+
+#: ctypes leaf names -> kind token (scalars).
+_CTYPES_KINDS: Dict[str, str] = {
+    "c_int64": "i64",
+    "c_longlong": "i64",
+    "c_uint64": "u64",
+    "c_ulonglong": "u64",
+    "c_size_t": "u64",
+    "c_int32": "i32",
+    "c_int": "i32",
+    "c_uint32": "u32",
+    "c_uint": "u32",
+    "c_int16": "i16",
+    "c_short": "i16",
+    "c_uint16": "u16",
+    "c_ushort": "u16",
+    "c_int8": "i8",
+    "c_byte": "i8",
+    "c_uint8": "u8",
+    "c_ubyte": "u8",
+    "c_char": "char",
+    "c_double": "f64",
+    "c_float": "f32",
+    "c_bool": "bool",
+}
+
+
+def _c_kind(text: str) -> Tuple[bool, str]:
+    """(is_pointer, kind) for one C declarator (qualifiers stripped)."""
+    is_pointer = "*" in text
+    cleaned = text.replace("*", " ")
+    words = [
+        w
+        for w in cleaned.split()
+        if w not in ("const", "restrict", "volatile", "register", "struct")
+    ]
+    # Drop a trailing parameter name if the prefix already names a type.
+    for take in range(len(words), 0, -1):
+        candidate = " ".join(words[:take])
+        if candidate in _C_KINDS:
+            return is_pointer, _C_KINDS[candidate]
+    return is_pointer, "?"
+
+
+def parse_c_exports(text: str) -> List[CExport]:
+    """Non-static function definitions in one C translation unit."""
+    stripped = _COMMENT_RE.sub(" ", text)
+    exports: List[CExport] = []
+    for match in _FUNC_RE.finditer(stripped):
+        ret_text, name, params_text = match.groups()
+        if name in _C_KEYWORDS:
+            continue
+        ret_words = ret_text.replace("*", " * ").split()
+        if "static" in ret_words:
+            continue
+        if not any(w.strip("*") for w in ret_words):
+            continue
+        ret_is_pointer, ret_kind = _c_kind(ret_text)
+        params: List[CParam] = []
+        body = params_text.strip()
+        if body and body != "void":
+            for piece in body.split(","):
+                piece = piece.strip()
+                if not piece:
+                    continue
+                is_ptr, kind = _c_kind(piece)
+                params.append(CParam(piece, is_ptr, kind))
+        exports.append(CExport(name, params, ret_is_pointer, ret_kind))
+    return exports
+
+
+# ----------------------------------------------------------------------
+# ctypes binding extraction
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CTypeDesc:
+    """One argtypes entry / restype, normalized."""
+
+    is_pointer: bool
+    kind: str  # pointee kind for pointers ("void" for c_void_p), else scalar
+
+
+@dataclass
+class Binding:
+    symbol: str
+    argtypes: Optional[List[Optional[CTypeDesc]]] = None
+    argtypes_line: int = 0
+    argtypes_end: int = 0
+    restype: Optional[CTypeDesc] = None
+    restype_set: bool = False
+    restype_line: int = 0
+
+
+def _ctype_desc(expr: ast.expr, module: ModuleInfo) -> Optional[CTypeDesc]:
+    """Normalize one ctypes expression; None when unrecognized."""
+    if isinstance(expr, ast.Constant) and expr.value is None:
+        return CTypeDesc(False, "void")
+    if isinstance(expr, ast.Call):
+        qual = module.imports.qualname(expr.func)
+        leaf = qual.rsplit(".", 1)[-1] if qual else ""
+        if leaf == "POINTER" and expr.args:
+            inner = _ctype_desc(expr.args[0], module)
+            return CTypeDesc(True, inner.kind if inner else "?")
+        if leaf == "ndpointer":
+            return CTypeDesc(True, "?")
+        return None
+    qual = module.imports.qualname(expr)
+    leaf = qual.rsplit(".", 1)[-1] if qual else ""
+    if leaf == "c_void_p":
+        return CTypeDesc(True, "void")
+    if leaf == "c_char_p":
+        return CTypeDesc(True, "char")
+    if leaf in _CTYPES_KINDS:
+        return CTypeDesc(False, _CTYPES_KINDS[leaf])
+    return None
+
+
+def _collect_bindings(module: ModuleInfo) -> Dict[str, Binding]:
+    """Every ``<x>.argtypes`` / ``<x>.restype`` assignment, keyed by the C
+    symbol the receiver was loaded from (``fn = library.krr_...``)."""
+    bindings: Dict[str, Binding] = {}
+    # name -> symbol it was bound from, per enclosing scope (flat is fine:
+    # binding modules are small and symbol handles are single-assignment).
+    handle_symbols: Dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if isinstance(target, ast.Name) and isinstance(node.value, ast.Attribute):
+            # fn = library.krr_backward_chunk  (or lib["sym"] is not supported)
+            handle_symbols[target.id] = node.value.attr
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Attribute):
+            continue
+        if target.attr not in ("argtypes", "restype"):
+            continue
+        recv = target.value
+        symbol = ""
+        if isinstance(recv, ast.Attribute):
+            symbol = recv.attr  # lib.krr_backward_chunk.argtypes = ...
+        elif isinstance(recv, ast.Name):
+            symbol = handle_symbols.get(recv.id, "")
+        if not symbol:
+            continue
+        binding = bindings.setdefault(symbol, Binding(symbol))
+        if target.attr == "argtypes":
+            if isinstance(node.value, (ast.List, ast.Tuple)):
+                binding.argtypes = [
+                    _ctype_desc(elt, module) for elt in node.value.elts
+                ]
+            binding.argtypes_line = node.lineno
+            binding.argtypes_end = getattr(node, "end_lineno", node.lineno) or node.lineno
+        else:
+            binding.restype = _ctype_desc(node.value, module)
+            binding.restype_set = True
+            binding.restype_line = node.lineno
+    return bindings
+
+
+# ----------------------------------------------------------------------
+# the checks
+# ----------------------------------------------------------------------
+
+
+def check_nat(module: ModuleInfo, project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    findings.extend(_check_fallback_twins(module))
+    source_refs = _c_source_refs(module)
+    for const_node, c_path in source_refs:
+        try:
+            text = c_path.read_text()
+        except OSError:
+            continue
+        exports = parse_c_exports(text)
+        bindings = _collect_bindings(module)
+        for export in exports:
+            binding = bindings.get(export.name)
+            if binding is None:
+                findings.append(
+                    _emit(
+                        module,
+                        "NAT-002",
+                        const_node.lineno,
+                        f"{c_path.name} exports {export.name}() but this "
+                        "module declares no argtypes/restype for it",
+                    )
+                )
+                continue
+            findings.extend(_check_signature(module, export, binding))
+    return findings
+
+
+def _c_source_refs(module: ModuleInfo) -> List[Tuple[ast.Constant, Path]]:
+    if module.real_path is None:
+        return []
+    refs: List[Tuple[ast.Constant, Path]] = []
+    seen = set()
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and node.value.endswith(".c")
+        ):
+            candidate = module.real_path.parent / Path(node.value).name
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            if candidate.exists():
+                refs.append((node, candidate))
+    return refs
+
+
+def _check_signature(
+    module: ModuleInfo, export: CExport, binding: Binding
+) -> List[Finding]:
+    findings: List[Finding] = []
+    name = export.name
+    if binding.argtypes is not None:
+        if len(binding.argtypes) != len(export.params):
+            findings.append(
+                _emit(
+                    module,
+                    "NAT-001",
+                    binding.argtypes_line,
+                    f"{name}(): argtypes has {len(binding.argtypes)} "
+                    f"entries but the C definition takes "
+                    f"{len(export.params)} parameters",
+                    binding.argtypes_end,
+                )
+            )
+        else:
+            for i, (desc, param) in enumerate(
+                zip(binding.argtypes, export.params)
+            ):
+                problem = _mismatch(desc, param)
+                if problem:
+                    findings.append(
+                        _emit(
+                            module,
+                            "NAT-001",
+                            binding.argtypes_line,
+                            f"{name}() parameter {i} ({param.text!r}): "
+                            f"{problem}",
+                            binding.argtypes_end,
+                        )
+                    )
+    if binding.restype_set:
+        problem = _restype_mismatch(binding.restype, export)
+        if problem:
+            findings.append(
+                _emit(
+                    module,
+                    "NAT-001",
+                    binding.restype_line,
+                    f"{name}() restype: {problem}",
+                )
+            )
+    return findings
+
+
+def _mismatch(desc: Optional[CTypeDesc], param: CParam) -> str:
+    if desc is None:
+        return ""  # unrecognized ctypes expression: skip, never guess
+    if param.is_pointer:
+        if not desc.is_pointer:
+            return "C expects a pointer but the binding passes a scalar"
+        if desc.kind not in ("void", "?") and param.kind not in ("?",):
+            if desc.kind != param.kind:
+                return (
+                    f"pointee width mismatch: POINTER({desc.kind}) vs "
+                    f"C {param.kind}*"
+                )
+        return ""
+    if desc.is_pointer:
+        return "C expects a scalar but the binding passes a pointer"
+    if desc.kind != param.kind and "?" not in (desc.kind, param.kind):
+        return f"scalar width mismatch: ctypes {desc.kind} vs C {param.kind}"
+    return ""
+
+
+def _restype_mismatch(desc: Optional[CTypeDesc], export: CExport) -> str:
+    if export.ret_kind == "void" and not export.ret_is_pointer:
+        if desc is not None and desc.kind != "void":
+            return "C returns void but the binding declares a value"
+        return ""
+    if desc is None:
+        return ""
+    if desc.kind == "void" and not desc.is_pointer:
+        return f"C returns {export.ret_kind} but restype is None"
+    if export.ret_is_pointer:
+        if not desc.is_pointer:
+            return "C returns a pointer but restype is a scalar"
+        return ""
+    if desc.is_pointer:
+        return "C returns a scalar but restype is a pointer"
+    if desc.kind != export.ret_kind and "?" not in (desc.kind, export.ret_kind):
+        return f"ctypes {desc.kind} vs C {export.ret_kind}"
+    return ""
+
+
+def _check_fallback_twins(module: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    by_scope: Dict[Tuple[Optional[str], str], bool] = {}
+    for fn in module.functions:
+        by_scope[(fn.class_name, fn.name)] = True
+    for fn in module.functions:
+        if not fn.name.endswith("_native"):
+            continue
+        twin = fn.name[: -len("_native")] + "_python"
+        if (fn.class_name, twin) in by_scope or (None, twin) in by_scope:
+            continue
+        findings.append(
+            _emit(
+                module,
+                "NAT-003",
+                getattr(fn.node, "lineno", 1),
+                f"{fn.qualname}() has no pure-Python fallback twin "
+                f"{twin}() — the parity tests have nothing to diff the "
+                "kernel against",
+            )
+        )
+    return findings

@@ -1,0 +1,529 @@
+"""Project-wide view for the lint analyzers: modules, call graph, summaries.
+
+A :class:`Project` parses every file under lint once and builds three
+indexes the rule families share:
+
+* **import map** per module (``np.random.default_rng`` →
+  ``numpy.random.default_rng``), same convention as the single-file
+  linter;
+* **function index** — every (async) function/method, keyed by
+  ``module:Qual.Name``, with its CFG and reaching-defs built lazily;
+* **one-level call summaries** (:class:`FunctionSummary`) — the small
+  set of facts a *caller's* rule check needs about a helper it calls:
+  does it fsync on every normal exit, does it return a file handle it
+  opened, does it forward which parameters into a fork boundary.  One
+  level deep by design: summaries are computed from the callee's own
+  body only, never recursively, so the analysis stays linear and its
+  verdicts stay explainable.
+
+Method-call resolution is deliberately conservative: ``t.wal.append(...)``
+resolves to ``TenantWAL.append`` only because the receiver chain mentions
+``wal`` and exactly one project class matching that hint defines
+``append``.  When the hint is ambiguous or absent the call stays
+unresolved and the rules treat it as opaque (no finding) — a static
+analyzer for a bit-identity repo must never guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .cfg import CFG, ReachingDefs, build_cfg, dotted_name
+
+__all__ = [
+    "FunctionInfo",
+    "FunctionSummary",
+    "ImportMap",
+    "ModuleInfo",
+    "Project",
+    "body_has_direct_fsync",
+    "is_durable_module",
+    "resolve_in_module",
+]
+
+
+class ImportMap:
+    """Resolve local names to canonical dotted module paths."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    full = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._aliases[local] = full
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def qualname(self, func: ast.expr) -> str:
+        """Dotted name of a call target with its root import-expanded."""
+        parts: List[str] = []
+        node: ast.expr = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(self._aliases.get(node.id, node.id))
+        else:
+            return ""
+        return ".".join(reversed(parts))
+
+
+@dataclass
+class FunctionSummary:
+    """One-level facts about a function, as seen from a call site."""
+
+    #: ``os.fsync`` (or ``<fh>.flush``-then-fsync) is called somewhere.
+    calls_fsync: bool = False
+    #: Every path from entry to a *normal* exit crosses an ``os.fsync``.
+    fsyncs_all_exits: bool = False
+    #: Some return value traces back to ``open()`` / ``os.fdopen()`` /
+    #: ``<path>.open()`` — callers treat the result as a live file handle.
+    returns_file_handle: bool = False
+    #: Parameter attribute paths forwarded into a ``Process(...)`` spawn
+    #: as queue-like arguments, e.g. ``("t.inbox", "t.outbox")``.
+    spawn_queue_args: Tuple[str, ...] = ()
+    #: Parameter names forwarded (directly) into a fork boundary.
+    forwards_to_fork: Tuple[str, ...] = ()
+
+
+@dataclass(eq=False)  # identity semantics: rule checkers keep these in sets
+class FunctionInfo:
+    """One function/method and its lazily-built analyses."""
+
+    module: "ModuleInfo"
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    qualname: str  # e.g. "TenantWAL.append"
+    class_name: Optional[str] = None
+    _cfg: Optional[CFG] = None
+    _reaching: Optional[ReachingDefs] = None
+    _summary: Optional[FunctionSummary] = None
+
+    @property
+    def name(self) -> str:
+        return getattr(self.node, "name", "")
+
+    @property
+    def params(self) -> List[str]:
+        args = getattr(self.node, "args", None)
+        if args is None:
+            return []
+        names = [a.arg for a in args.posonlyargs]
+        names += [a.arg for a in args.args]
+        names += [a.arg for a in args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    @property
+    def cfg(self) -> CFG:
+        if self._cfg is None:
+            self._cfg = build_cfg(self.node)
+        return self._cfg
+
+    @property
+    def reaching(self) -> ReachingDefs:
+        if self._reaching is None:
+            self._reaching = ReachingDefs(self.cfg, self.params)
+        return self._reaching
+
+    def summary(self) -> FunctionSummary:
+        if self._summary is None:
+            self._summary = _summarize(self)
+        return self._summary
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: str  # display path (as given to the linter)
+    real_path: Optional[Path]
+    source: str
+    tree: ast.Module
+    imports: ImportMap
+    #: Top-level and nested functions, in source order.
+    functions: List[FunctionInfo] = field(default_factory=list)
+    #: Class name -> attribute names assigned a threading/queue primitive.
+    class_primitive_fields: Dict[str, Set[str]] = field(default_factory=dict)
+
+    @property
+    def stem(self) -> str:
+        return Path(self.path).stem
+
+    @property
+    def dir_parts(self) -> Tuple[str, ...]:
+        return tuple(Path(self.path).parts[:-1])
+
+
+#: Constructors whose results must never cross a fork boundary (CONC-001),
+#: and queue constructors (fork-safe by design, tracked for CONC-003).
+THREAD_PRIMITIVE_CALLS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Event",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Barrier",
+        "threading.local",
+        "_thread.allocate_lock",
+        "multiprocessing.shared_memory.SharedMemory",
+    }
+)
+
+QUEUE_CALL_LEAVES = frozenset({"Queue", "JoinableQueue", "SimpleQueue"})
+
+
+def is_queue_constructor(qual: str) -> bool:
+    """``ctx.Queue(...)`` / ``multiprocessing.Queue(...)`` and friends."""
+    return bool(qual) and qual.rsplit(".", 1)[-1] in QUEUE_CALL_LEAVES
+
+
+def is_fork_spawn(call: ast.Call, imports: ImportMap) -> bool:
+    """A call that starts a forked worker: ``Process(...)`` or pool submit."""
+    qual = imports.qualname(call.func)
+    leaf = qual.rsplit(".", 1)[-1] if qual else ""
+    if leaf == "Process" and any(kw.arg == "target" for kw in call.keywords):
+        return True
+    if isinstance(call.func, ast.Attribute) and call.func.attr == "submit":
+        recv = dotted_name(call.func.value).lower()
+        return "pool" in recv or "executor" in recv
+    return False
+
+
+def spawn_payload_args(call: ast.Call) -> List[ast.expr]:
+    """The expressions shipped to the child: Process args=(...) / submit args."""
+    out: List[ast.expr] = []
+    qualish = call.func
+    leaf = qualish.attr if isinstance(qualish, ast.Attribute) else (
+        qualish.id if isinstance(qualish, ast.Name) else ""
+    )
+    if leaf == "submit":
+        out.extend(call.args[1:])
+        out.extend(kw.value for kw in call.keywords if kw.arg)
+        return out
+    for kw in call.keywords:
+        if kw.arg == "args" and isinstance(kw.value, (ast.Tuple, ast.List)):
+            out.extend(kw.value.elts)
+        elif kw.arg == "kwargs" and isinstance(kw.value, ast.Dict):
+            out.extend(v for v in kw.value.values if v is not None)
+    return out
+
+
+def spawn_target(call: ast.Call) -> Optional[ast.expr]:
+    """The ``target=`` expression of a Process spawn (or submit's fn)."""
+    for kw in call.keywords:
+        if kw.arg == "target":
+            return kw.value
+    if isinstance(call.func, ast.Attribute) and call.func.attr == "submit":
+        return call.args[0] if call.args else None
+    return None
+
+
+def _is_fsync_call(call: ast.Call, imports: ImportMap) -> bool:
+    return imports.qualname(call.func) == "os.fsync"
+
+
+def _is_open_call(call: ast.Call, imports: ImportMap) -> bool:
+    qual = imports.qualname(call.func)
+    if qual in ("open", "os.fdopen", "io.open"):
+        return True
+    return isinstance(call.func, ast.Attribute) and call.func.attr == "open"
+
+
+def body_has_direct_fsync(fn: FunctionInfo) -> bool:
+    """``os.fsync`` appears textually in the function's own body.
+
+    This is the *one level* of the call summaries: when summarizing a
+    caller, a call to a same-module helper whose body directly fsyncs
+    (``write_atomic``, ``_fsync_dir``) counts as an fsync site, but the
+    helper's own callees are never chased.
+    """
+    imports = fn.module.imports
+    for sub in ast.walk(fn.node):
+        if isinstance(sub, ast.Call) and _is_fsync_call(sub, imports):
+            return True
+    return False
+
+
+def resolve_in_module(module: ModuleInfo, call: ast.Call) -> Optional[FunctionInfo]:
+    """``helper(...)`` / ``self._helper(...)`` resolved within one module."""
+    func = call.func
+    name = ""
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id in ("self", "cls"):
+            name = func.attr
+    if not name:
+        return None
+    candidates = [f for f in module.functions if f.name == name]
+    if len(candidates) == 1:
+        return candidates[0]
+    return None
+
+
+def _summarize(fn: FunctionInfo) -> FunctionSummary:
+    imports = fn.module.imports
+    cfg = fn.cfg
+    calls_fsync = False
+    fsync_nodes: Set[int] = set()
+    handle_names: Set[str] = set()
+    spawn_queue_args: List[str] = []
+    forwards: List[str] = []
+    params = set(fn.params)
+
+    for node in cfg.statement_nodes():
+        for call in node.calls():
+            if _is_fsync_call(call, imports):
+                calls_fsync = True
+                fsync_nodes.add(node.index)
+            else:
+                callee = resolve_in_module(fn.module, call)
+                if callee is not None and callee is not fn and body_has_direct_fsync(callee):
+                    calls_fsync = True
+                    fsync_nodes.add(node.index)
+            if _is_open_call(call, imports):
+                for path in node.defs:
+                    handle_names.add(path)
+            if is_fork_spawn(call, imports):
+                for arg in spawn_payload_args(call):
+                    path = dotted_name(arg)
+                    if not path:
+                        continue
+                    root = path.split(".")[0]
+                    if root in params:
+                        if _queueish(path):
+                            spawn_queue_args.append(path)
+                        forwards.append(path)
+
+    fsyncs_all_exits = bool(fsync_nodes) and cfg.every_path_passes(
+        cfg.entry, cfg.exit, lambda n: n.index in fsync_nodes
+    )
+
+    returns_handle = False
+    for node in cfg.statement_nodes():
+        stmt = node.stmt
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            path = dotted_name(stmt.value)
+            if not path:
+                continue
+            if path in handle_names:
+                returns_handle = True
+                continue
+            for def_idx in fn.reaching.defs_reaching(node.index, path):
+                def_node = cfg.nodes[def_idx]
+                for call in def_node.calls():
+                    if _is_open_call(call, imports):
+                        returns_handle = True
+
+    return FunctionSummary(
+        calls_fsync=calls_fsync,
+        fsyncs_all_exits=fsyncs_all_exits,
+        returns_file_handle=returns_handle,
+        spawn_queue_args=tuple(spawn_queue_args),
+        forwards_to_fork=tuple(forwards),
+    )
+
+
+def _queueish(path: str) -> bool:
+    """Identifier smells like a worker queue (``t.inbox``, ``out_q`` ...)."""
+    tokens = path.lower().replace("_", ".").split(".")
+    return any(
+        tok in ("queue", "inbox", "outbox", "mailbox", "q") for tok in tokens
+    )
+
+
+class Project:
+    """Every module under lint, parsed once, with shared indexes."""
+
+    def __init__(self) -> None:
+        self.modules: List[ModuleInfo] = []
+        self._methods: Dict[str, List[FunctionInfo]] = {}
+        self._functions_by_name: Dict[str, List[FunctionInfo]] = {}
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_sources(
+        cls, sources: Sequence[Tuple[str, Optional[Path], str, ast.Module]]
+    ) -> "Project":
+        """Build from pre-parsed ``(display_path, real_path, source, tree)``."""
+        project = cls()
+        for display, real, source, tree in sources:
+            project.add_module(display, real, source, tree)
+        return project
+
+    def add_module(
+        self,
+        display_path: str,
+        real_path: Optional[Path],
+        source: str,
+        tree: ast.Module,
+    ) -> ModuleInfo:
+        module = ModuleInfo(
+            path=display_path,
+            real_path=real_path,
+            source=source,
+            tree=tree,
+            imports=ImportMap(tree),
+        )
+        self._index_functions(module)
+        self._index_classes(module)
+        self.modules.append(module)
+        return module
+
+    def _index_functions(self, module: ModuleInfo) -> None:
+        def visit(node: ast.AST, qual_prefix: str, class_name: Optional[str]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = (
+                        f"{qual_prefix}.{child.name}" if qual_prefix else child.name
+                    )
+                    info = FunctionInfo(
+                        module=module,
+                        node=child,
+                        qualname=qual,
+                        class_name=class_name,
+                    )
+                    module.functions.append(info)
+                    self._functions_by_name.setdefault(child.name, []).append(info)
+                    if class_name is not None:
+                        self._methods.setdefault(child.name, []).append(info)
+                    visit(child, qual, None)
+                elif isinstance(child, ast.ClassDef):
+                    cq = f"{qual_prefix}.{child.name}" if qual_prefix else child.name
+                    visit(child, cq, child.name)
+
+        visit(module.tree, "", None)
+
+    def _index_classes(self, module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            fields: Set[str] = set()
+            for sub in ast.walk(node):
+                value: Optional[ast.expr] = None
+                names: List[str] = []
+                if isinstance(sub, ast.Assign):
+                    value = sub.value
+                    for tgt in sub.targets:
+                        path = dotted_name(tgt)
+                        if path:
+                            names.append(path.split(".")[-1])
+                elif isinstance(sub, ast.AnnAssign):
+                    value = sub.value
+                    path = dotted_name(sub.target)
+                    if path:
+                        names.append(path.split(".")[-1])
+                    # dataclass `field(default_factory=threading.RLock)`
+                    if value is None and sub.annotation is not None:
+                        ann = _annotation_text(sub.annotation)
+                        if _primitive_annotation(ann):
+                            fields.update(names)
+                if value is not None and names:
+                    if self._constructs_primitive(module, value):
+                        fields.update(names)
+            if fields:
+                module.class_primitive_fields[node.name] = fields
+
+    def _constructs_primitive(self, module: ModuleInfo, value: ast.expr) -> bool:
+        for sub in ast.walk(value):
+            if isinstance(sub, ast.Call):
+                qual = module.imports.qualname(sub.func)
+                if qual in THREAD_PRIMITIVE_CALLS:
+                    return True
+                # dataclasses.field(default_factory=threading.RLock)
+                for kw in sub.keywords:
+                    if kw.arg == "default_factory":
+                        fq = module.imports.qualname(kw.value) if isinstance(
+                            kw.value, (ast.Name, ast.Attribute)
+                        ) else ""
+                        if fq in THREAD_PRIMITIVE_CALLS:
+                            return True
+        return False
+
+    # -- lookups -----------------------------------------------------------
+
+    def functions_in(self, module: ModuleInfo) -> Iterator[FunctionInfo]:
+        yield from module.functions
+
+    def function_named(self, name: str) -> List[FunctionInfo]:
+        """Every project function with this bare name."""
+        return list(self._functions_by_name.get(name, []))
+
+    def resolve_local_call(
+        self, module: ModuleInfo, call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        """Resolve ``helper(...)`` / ``self._helper(...)`` within a module."""
+        return resolve_in_module(module, call)
+
+    def resolve_method_call(
+        self, call: ast.Call, *, durable_only: bool = False
+    ) -> Optional[FunctionInfo]:
+        """Resolve ``recv.method(...)`` by receiver-hint + uniqueness.
+
+        The receiver chain's identifiers must overlap the defining class's
+        lowercase name (``t.wal.append`` → ``TenantWAL``), and exactly one
+        candidate may match; otherwise the call stays unresolved.
+        """
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        method = call.func.attr
+        recv = dotted_name(call.func.value)
+        if not recv:
+            return None
+        tokens = {tok for tok in recv.lower().split(".") if len(tok) >= 3}
+        if not tokens:
+            return None
+        matches: List[FunctionInfo] = []
+        for cand in self._methods.get(method, []):
+            cls = (cand.class_name or "").lower()
+            if durable_only and not _durable_module(cand.module):
+                continue
+            if any(tok in cls for tok in tokens):
+                matches.append(cand)
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+
+#: Module scope for the DUR-* family: the WAL/snapshot/checkpoint protocol
+#: files plus everything under a ``service`` directory.
+DURABLE_STEMS = frozenset({"wal", "snapshot", "snapshots", "checkpoint"})
+
+
+def _durable_module(module: ModuleInfo) -> bool:
+    return module.stem in DURABLE_STEMS or "service" in module.dir_parts
+
+
+def is_durable_module(module: ModuleInfo) -> bool:
+    """Public alias used by the DUR checker."""
+    return _durable_module(module)
+
+
+def _annotation_text(node: ast.expr) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - exotic annotation
+        return ""
+
+
+def _primitive_annotation(text: str) -> bool:
+    lowered = text.lower()
+    return any(
+        tok in lowered
+        for tok in ("rlock", "threading.lock", "condition", "sharedmemory")
+    )

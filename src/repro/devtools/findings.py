@@ -1,0 +1,192 @@
+"""Shared reprolint vocabulary: rules, severities, findings.
+
+Split out of :mod:`repro.devtools.lint` so the project-level analyzers in
+:mod:`repro.devtools.analysis` can emit :class:`Finding`\\ s without a
+circular import — ``lint`` drives the analyzers, and both sides speak this
+module's types.  The rule *registry* also lives here so ``--list-rules``,
+the docs catalog and the JSON schema all read from one table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "Rule",
+    "SEVERITIES",
+    "SEVERITY_RANK",
+]
+
+#: Severity names in increasing order of badness.
+SEVERITIES: Tuple[str, ...] = ("info", "warning", "error")
+
+SEVERITY_RANK: Dict[str, int] = {name: i for i, name in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A reprolint rule: stable id, severity, and a fix hint shown inline."""
+
+    id: str
+    severity: str
+    summary: str
+    fix_hint: str
+
+
+RULES: Dict[str, Rule] = {
+    r.id: r
+    for r in (
+        # -- determinism / randomness plumbing --------------------------
+        Rule(
+            "RNG-001",
+            "error",
+            "unseeded or legacy global NumPy randomness in library code",
+            "thread an `rng` argument through repro._util.ensure_rng instead",
+        ),
+        Rule(
+            "RNG-002",
+            "error",
+            "randomness constructed outside the ensure_rng entry point",
+            "accept `rng` and normalize it with ensure_rng(rng); seed "
+            "random.Random from int(ensure_rng(rng).integers(...))",
+        ),
+        Rule(
+            "SHM-001",
+            "error",
+            "shared-memory segment lifecycle outside the cleanup contract",
+            "register created segments with the cleanup registry and guard "
+            "unlink() behind an owner-PID check",
+        ),
+        Rule(
+            "DET-001",
+            "error",
+            "wall clock or OS entropy inside a model path",
+            "model code must be a pure function of the trace and the seed; "
+            "pass timestamps/randomness in from the caller",
+        ),
+        Rule(
+            "PY-001",
+            "error",
+            "mutable default argument",
+            "default to None and construct the container inside the function",
+        ),
+        Rule(
+            "PY-002",
+            "warning",
+            "__all__ drift between a module and a package re-export",
+            "add the name to the module's __all__ (or stop re-exporting it)",
+        ),
+        # -- fork / concurrency safety (CONC-*) --------------------------
+        Rule(
+            "CONC-001",
+            "error",
+            "thread-sync primitive or lock-holding object captured across "
+            "a fork boundary",
+            "pass plain data (or an mp.Queue / shm spec) to the worker and "
+            "rebuild locks on the child side",
+        ),
+        Rule(
+            "CONC-002",
+            "error",
+            "worker-side code mutates supervisor-owned state",
+            "a forked worker's writes are invisible to the parent: send the "
+            "change back over the outbox queue instead",
+        ),
+        Rule(
+            "CONC-003",
+            "error",
+            "queue object reused across worker generations",
+            "a SIGKILLed worker can die holding the queue's shared reader "
+            "lock; construct fresh Queue objects before respawning",
+        ),
+        # -- durability ordering (DUR-*) ----------------------------------
+        Rule(
+            "DUR-001",
+            "error",
+            "rename-into-place not preceded by an fsync of the data on "
+            "every path",
+            "write to a tempfile, flush + os.fsync it, and only then "
+            "os.rename over the final name",
+        ),
+        Rule(
+            "DUR-002",
+            "error",
+            "ack/return reachable after a durable write with no fsync in "
+            "between",
+            "flush + os.fsync the handle before every return that callers "
+            "treat as an ack (the ack means durable, not buffered)",
+        ),
+        Rule(
+            "DUR-003",
+            "error",
+            "file created or renamed without fsyncing its directory",
+            "os.fsync an O_RDONLY fd of the parent directory so the new "
+            "directory entry itself survives a host crash",
+        ),
+        # -- native-kernel contract (NAT-*) --------------------------------
+        Rule(
+            "NAT-001",
+            "error",
+            "ctypes binding disagrees with the C prototype",
+            "make argtypes/restype match the C signature in arity, integer "
+            "width and pointer-ness (c_void_p matches any pointer)",
+        ),
+        Rule(
+            "NAT-002",
+            "error",
+            "exported C symbol with no ctypes binding",
+            "bind the symbol (argtypes + restype) or mark the C function "
+            "static; unbound exports have no checked contract",
+        ),
+        Rule(
+            "NAT-003",
+            "error",
+            "native entry point without a pure-Python fallback twin",
+            "every *_native function needs a *_python sibling that consumes "
+            "the same draws and produces bit-identical results",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation anchored at ``path:line:col``.
+
+    ``end_line`` is the last line of the flagged statement (0 when
+    unknown); suppression comments may sit on any line of that span.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    fix_hint: str
+    snippet: str = ""
+    end_line: int = 0
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselines: survives pure line-number drift."""
+        basis = f"{self.path}|{self.rule}|{self.snippet.strip()}"
+        return hashlib.sha1(basis.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "end_line": self.end_line,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }

@@ -31,27 +31,46 @@ DET-001   error     wall-clock / OS-entropy reads (``time.time``,
 PY-001    error     mutable default arguments
 PY-002    warning   ``__all__`` drift: a name re-exported by a package
                     ``__init__`` missing from the source module's ``__all__``
+CONC-001  error     lock/SharedMemory-holding objects shipped across a fork
+                    boundary (``Process``/pool submit), incl. closures
+CONC-002  error     worker-side mutation of supervisor-owned state
+CONC-003  error     queue object reused across worker generations (the
+                    SIGKILL reader-lock wedge)
+DUR-001   error     rename-into-place reachable without a prior data fsync
+DUR-002   error     normal return (= ack) reachable after a durable write
+                    with no fsync in between
+DUR-003   error     file created/renamed with no directory fsync reachable
+NAT-001   error     ctypes argtypes/restype disagreeing with the C prototype
+NAT-002   error     exported C symbol with no ctypes binding
+NAT-003   error     ``*_native`` entry point without a ``*_python`` twin
 ========  ========  ==========================================================
+
+The RNG/SHM/DET/PY families are single-file AST checks; the CONC/DUR/NAT
+families run on the project-level dataflow core in
+:mod:`repro.devtools.analysis` (per-function CFGs, reaching definitions,
+one-level call summaries over every file in the same lint invocation).
 
 Any finding can be suppressed in place with a trailing comment::
 
     foo = np.random.default_rng()  # repro: allow[RNG-001]: CLI entropy is fine
 
 The comment must name the rule id (several may be comma-separated) and
-should carry a reason after the colon.  ``--baseline`` freezes a set of
-pre-existing findings so only *new* violations gate CI.
+should carry a reason after the colon; for a multi-line statement the
+comment may sit on any line of the statement's span.  ``--baseline``
+freezes a set of pre-existing findings so only *new* violations gate CI.
 """
 
 from __future__ import annotations
 
 import ast
 import fnmatch
-import hashlib
 import json
 import re
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .findings import RULES, SEVERITIES, SEVERITY_RANK, Finding, Rule
+from .analysis import ANALYZERS, Project
 
 __all__ = [
     "RULES",
@@ -68,70 +87,7 @@ __all__ = [
     "write_baseline",
 ]
 
-# ----------------------------------------------------------------------
-# Rule registry
-# ----------------------------------------------------------------------
-
-#: Severity names in increasing order of badness.
-SEVERITIES: Tuple[str, ...] = ("info", "warning", "error")
-
-
-@dataclass(frozen=True)
-class Rule:
-    """A reprolint rule: stable id, severity, and a fix hint shown inline."""
-
-    id: str
-    severity: str
-    summary: str
-    fix_hint: str
-
-
-RULES: Dict[str, Rule] = {
-    r.id: r
-    for r in (
-        Rule(
-            "RNG-001",
-            "error",
-            "unseeded or legacy global NumPy randomness in library code",
-            "thread an `rng` argument through repro._util.ensure_rng instead",
-        ),
-        Rule(
-            "RNG-002",
-            "error",
-            "randomness constructed outside the ensure_rng entry point",
-            "accept `rng` and normalize it with ensure_rng(rng); seed "
-            "random.Random from int(ensure_rng(rng).integers(...))",
-        ),
-        Rule(
-            "SHM-001",
-            "error",
-            "shared-memory segment lifecycle outside the cleanup contract",
-            "register created segments with the cleanup registry and guard "
-            "unlink() behind an owner-PID check",
-        ),
-        Rule(
-            "DET-001",
-            "error",
-            "wall clock or OS entropy inside a model path",
-            "model code must be a pure function of the trace and the seed; "
-            "pass timestamps/randomness in from the caller",
-        ),
-        Rule(
-            "PY-001",
-            "error",
-            "mutable default argument",
-            "default to None and construct the container inside the function",
-        ),
-        Rule(
-            "PY-002",
-            "warning",
-            "__all__ drift between a module and a package re-export",
-            "add the name to the module's __all__ (or stop re-exporting it)",
-        ),
-    )
-}
-
-_SEVERITY_RANK = {name: i for i, name in enumerate(SEVERITIES)}
+_SEVERITY_RANK = SEVERITY_RANK
 
 #: Path components that mark deterministic "model path" code for DET-001.
 DEFAULT_MODEL_DIRS: Tuple[str, ...] = ("core", "stack", "simulator")
@@ -177,41 +133,8 @@ _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_\-*,\s]+)\]")
 
 
 # ----------------------------------------------------------------------
-# Findings
+# Suppressions
 # ----------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One rule violation anchored at ``path:line:col``."""
-
-    rule: str
-    severity: str
-    path: str
-    line: int
-    col: int
-    message: str
-    fix_hint: str
-    snippet: str = ""
-
-    @property
-    def fingerprint(self) -> str:
-        """Stable identity for baselines: survives pure line-number drift."""
-        basis = f"{self.path}|{self.rule}|{self.snippet.strip()}"
-        return hashlib.sha1(basis.encode("utf-8")).hexdigest()[:16]
-
-    def to_dict(self) -> Dict[str, object]:
-        return {
-            "rule": self.rule,
-            "severity": self.severity,
-            "path": self.path,
-            "line": self.line,
-            "col": self.col,
-            "message": self.message,
-            "fix_hint": self.fix_hint,
-            "snippet": self.snippet,
-            "fingerprint": self.fingerprint,
-        }
 
 
 def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
@@ -223,6 +146,26 @@ def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
             rules = {tok.strip() for tok in m.group(1).split(",") if tok.strip()}
             allowed.setdefault(lineno, set()).update(rules)
     return allowed
+
+
+def _apply_suppressions(source: str, findings: Sequence[Finding]) -> List[Finding]:
+    """Drop findings whose statement span carries a matching allow-comment.
+
+    A finding anchored on a multi-line statement (``end_line > line``) is
+    suppressed by a comment on *any* line of that span — e.g. the closing
+    bracket of a long ``argtypes`` list.
+    """
+    allowed = _parse_suppressions(source)
+    kept: List[Finding] = []
+    for f in findings:
+        span = range(f.line, max(f.line, f.end_line) + 1)
+        hit = any(
+            f.rule in allowed.get(line, ()) or "*" in allowed.get(line, ())
+            for line in span
+        )
+        if not hit:
+            kept.append(f)
+    return kept
 
 
 # ----------------------------------------------------------------------
@@ -678,18 +621,11 @@ def _check_all_drift(
 # ----------------------------------------------------------------------
 
 
-def lint_source(
-    source: str,
-    path: str = "<string>",
-    *,
-    real_path: Optional[Path] = None,
-    model_dirs: Sequence[str] = DEFAULT_MODEL_DIRS,
-) -> List[Finding]:
-    """Lint one module's source text; applies suppression comments."""
+def _try_parse(source: str, path: str) -> "Tuple[Optional[ast.Module], List[Finding]]":
     try:
-        tree = ast.parse(source, filename=path)
+        return ast.parse(source, filename=path), []
     except SyntaxError as exc:
-        return [
+        return None, [
             Finding(
                 rule="PARSE",
                 severity="error",
@@ -700,17 +636,48 @@ def lint_source(
                 fix_hint="fix the syntax error",
             )
         ]
+
+
+def _lint_module(
+    source: str,
+    path: str,
+    real_path: Optional[Path],
+    tree: ast.Module,
+    project: Project,
+    *,
+    model_dirs: Sequence[str] = DEFAULT_MODEL_DIRS,
+) -> List[Finding]:
+    """All rule families for one already-parsed module of ``project``."""
     findings = _FileChecker(path, source, tree, model_dirs=model_dirs).run()
     if real_path is not None and real_path.name == "__init__.py":
         findings.extend(_check_all_drift(real_path, source, tree, path))
-    allowed = _parse_suppressions(source)
-    kept = []
-    for f in findings:
-        rules_here = allowed.get(f.line, set())
-        if f.rule in rules_here or "*" in rules_here:
-            continue
-        kept.append(f)
-    return kept
+    module = next((m for m in project.modules if m.path == path), None)
+    if module is not None:
+        for analyzer in ANALYZERS:
+            findings.extend(analyzer(module, project))
+    return _apply_suppressions(source, findings)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    real_path: Optional[Path] = None,
+    model_dirs: Sequence[str] = DEFAULT_MODEL_DIRS,
+) -> List[Finding]:
+    """Lint one module's source text; applies suppression comments.
+
+    The project-level CONC/DUR/NAT analyzers run too, seeing a one-module
+    project — cross-module call resolution only engages under
+    :func:`lint_paths`, which shares one :class:`Project` across files.
+    """
+    tree, parse_findings = _try_parse(source, path)
+    if tree is None:
+        return parse_findings
+    project = Project.from_sources([(path, real_path, source, tree)])
+    return _lint_module(
+        source, path, real_path, tree, project, model_dirs=model_dirs
+    )
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -734,15 +701,31 @@ def lint_paths(
     model_dirs: Sequence[str] = DEFAULT_MODEL_DIRS,
     exclude: Sequence[str] = (),
 ) -> List[Finding]:
-    """Lint every Python file under ``paths`` and return sorted findings."""
+    """Lint every Python file under ``paths`` and return sorted findings.
+
+    Two passes: every file is parsed into one shared :class:`Project`
+    first (so the CONC/DUR/NAT analyzers can resolve calls and summaries
+    across files), then each module is checked.
+    """
     findings: List[Finding] = []
+    parsed: List[Tuple[str, Path, str, ast.Module]] = []
+    project = Project()
     for file in iter_python_files(paths):
         display = str(file)
         if any(fnmatch.fnmatch(display, pat) for pat in exclude):
             continue
         source = file.read_text(encoding="utf-8")
+        tree, parse_findings = _try_parse(source, display)
+        if tree is None:
+            findings.extend(parse_findings)
+            continue
+        project.add_module(display, file, source, tree)
+        parsed.append((display, file, source, tree))
+    for display, file, source, tree in parsed:
         findings.extend(
-            lint_source(source, display, real_path=file, model_dirs=model_dirs)
+            _lint_module(
+                source, display, file, tree, project, model_dirs=model_dirs
+            )
         )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
@@ -817,7 +800,9 @@ def render_json(findings: Sequence[Finding]) -> str:
         by_sev[f.severity] = by_sev.get(f.severity, 0) + 1
     payload = {
         "tool": "reprolint",
-        "version": 1,
+        # v2: findings carry `end_line` (multi-line statement spans) and the
+        # CONC/DUR/NAT rule families exist.  Fields are append-only.
+        "version": 2,
         "summary": {"total": len(findings), **by_sev},
         "findings": [f.to_dict() for f in findings],
     }

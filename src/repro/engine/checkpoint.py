@@ -38,6 +38,18 @@ class CheckpointMismatch(ValueError):
     """The checkpoint on disk was written by a different sweep."""
 
 
+def _fsync_dir(path: Path) -> None:
+    """Persist a directory entry change (new checkpoint file) to disk."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 class SweepCheckpoint:
     """Append-only JSONL checkpoint for one sweep signature.
 
@@ -138,6 +150,7 @@ class SweepCheckpoint:
             "unit": unit,
             "stats": stats,
         }
+        created = not self.path.exists()
         with self.path.open("a") as fh:
             if not self._header_written:
                 if fh.tell() == 0:
@@ -153,6 +166,11 @@ class SweepCheckpoint:
             fh.write(json.dumps(record) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
+        if created:
+            # The file's bytes are fsynced above, but its directory entry
+            # is not: without a directory fsync a host crash can drop the
+            # whole checkpoint file even though every row in it was synced.
+            _fsync_dir(self.path.parent)
 
     # ------------------------------------------------------------------
     def _needs_newline(self) -> bool:

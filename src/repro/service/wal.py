@@ -29,6 +29,8 @@ import warnings
 from pathlib import Path
 from typing import IO, Iterator, List, Optional, Tuple
 
+from .snapshot import _fsync_dir
+
 __all__ = [
     "TenantWAL",
     "WALError",
@@ -105,11 +107,17 @@ class TenantWAL:
             self._fh = None
         if self._fh is None:
             segs = self._segments()
-            if segs and segs[-1].stat().st_size < self.segment_bytes:
-                self._fh_path = segs[-1]
-            else:
+            fresh = not (segs and segs[-1].stat().st_size < self.segment_bytes)
+            if fresh:
                 self._fh_path = self.root / f"wal-{seq:012d}.jsonl"
+            else:
+                self._fh_path = segs[-1]
             self._fh = self._fh_path.open("ab")
+            if fresh:
+                # fsyncing the file persists its bytes, not its directory
+                # entry: without this, a host crash after the ack can make
+                # the whole new segment vanish.
+                _fsync_dir(self.root)
         return self._fh
 
     # ------------------------------------------------------------------

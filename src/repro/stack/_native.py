@@ -68,12 +68,23 @@ def _cache_dir() -> Path:
     return Path(tempfile.gettempdir()) / f"repro-native-{uid}"
 
 
+def _extra_cflags() -> list:
+    """Extra compile flags from ``REPRO_NATIVE_CFLAGS`` (whitespace-split).
+
+    This is how the sanitizer CI job rebuilds the kernel with
+    ``-fsanitize=address,undefined``: the flags participate in the cache
+    digest, so sanitized and plain builds never collide in the cache.
+    """
+    return os.environ.get("REPRO_NATIVE_CFLAGS", "").split()
+
+
 def _build_library(source: Path) -> Optional[Path]:
     """Compile ``source`` into the cache; returns the .so path or None."""
     cc = _compiler()
     if cc is None:
         return None
-    text = source.read_bytes()
+    extra = _extra_cflags()
+    text = source.read_bytes() + "\x00".join(extra).encode()
     digest = hashlib.sha256(text).hexdigest()[:16]
     cache = _cache_dir()
     lib_path = cache / f"soa_kernel-{digest}.so"
@@ -83,7 +94,7 @@ def _build_library(source: Path) -> Optional[Path]:
         cache.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(suffix=".so", dir=str(cache))
         os.close(fd)
-        cmd = [cc, "-O3", "-shared", "-fPIC", "-o", tmp_name, str(source)]
+        cmd = [cc, "-O3", "-shared", "-fPIC", *extra, "-o", tmp_name, str(source)]
         proc = subprocess.run(
             cmd,
             stdout=subprocess.PIPE,

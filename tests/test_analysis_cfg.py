@@ -1,0 +1,354 @@
+"""Unit tests for the dataflow core: CFG construction, path queries,
+reaching definitions, and the project-level call summaries the CONC/DUR
+rules consume."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.devtools.analysis.cfg import (
+    ReachingDefs,
+    assigned_paths,
+    build_cfg,
+    dotted_name,
+)
+from repro.devtools.analysis.project import Project
+
+
+def func_cfg(code: str):
+    tree = ast.parse(textwrap.dedent(code))
+    func = next(
+        n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)
+    )
+    return build_cfg(func)
+
+
+def node_matching(cfg, text: str):
+    # Match the header line only: a compound statement's unparse includes
+    # its whole body, which would shadow the nodes nested inside it.
+    for node in cfg.statement_nodes():
+        try:
+            if text in ast.unparse(node.stmt).splitlines()[0]:
+                return node
+        except Exception:
+            continue
+    raise AssertionError(f"no CFG node matching {text!r}")
+
+
+def one_module_project(code: str, path: str = "m.py"):
+    source = textwrap.dedent(code)
+    tree = ast.parse(source)
+    project = Project()
+    module = project.add_module(path, None, source, tree)
+    return project, module
+
+
+class TestNameHelpers:
+    def test_dotted_name(self):
+        expr = ast.parse("a.b.c", mode="eval").body
+        assert dotted_name(expr) == "a.b.c"
+        assert dotted_name(ast.parse("f()", mode="eval").body) == ""
+
+    def test_assigned_paths_unpacks_tuples(self):
+        stmt = ast.parse("a, (b.c, *d) = x").body[0]
+        assert set(assigned_paths(stmt.targets[0])) == {"a", "b.c", "d"}
+
+
+class TestCFGShape:
+    def test_straight_line_reaches_exit(self):
+        cfg = func_cfg(
+            """
+            def f():
+                a = 1
+                b = 2
+                return a + b
+            """
+        )
+        ret = node_matching(cfg, "return")
+        assert cfg.path_avoiding(cfg.entry, ret.index, lambda n: False)
+
+    def test_every_path_passes_barrier(self):
+        cfg = func_cfg(
+            """
+            def f(fh, data):
+                fh.write(data)
+                fh.flush()
+                sync(fh)
+                return True
+            """
+        )
+        write = node_matching(cfg, "fh.write")
+        sync = node_matching(cfg, "sync(fh)")
+        assert cfg.every_path_passes(
+            write.index, cfg.exit, lambda n: n.index == sync.index
+        )
+
+    def test_branch_avoiding_barrier_is_found(self):
+        cfg = func_cfg(
+            """
+            def f(fh, data, fast):
+                fh.write(data)
+                if not fast:
+                    sync(fh)
+                return True
+            """
+        )
+        write = node_matching(cfg, "fh.write")
+        sync = node_matching(cfg, "sync(fh)")
+        assert not cfg.every_path_passes(
+            write.index, cfg.exit, lambda n: n.index == sync.index
+        )
+
+    def test_raise_goes_to_abnormal_exit_not_exit(self):
+        cfg = func_cfg(
+            """
+            def f(x):
+                if x:
+                    raise ValueError(x)
+                return 1
+            """
+        )
+        rr = node_matching(cfg, "raise")
+        assert cfg.raise_exit in cfg.succ[rr.index]
+        assert cfg.exit not in cfg.succ[rr.index]
+
+    def test_try_body_edges_into_handler(self):
+        cfg = func_cfg(
+            """
+            def f():
+                try:
+                    risky()
+                except OSError:
+                    cleanup()
+                return 1
+            """
+        )
+        risky = node_matching(cfg, "risky")
+        cleanup = node_matching(cfg, "cleanup")
+        # risky() -> handler head -> cleanup() must be a real path
+        assert cfg.path_avoiding(risky.index, cleanup.index, lambda n: False)
+
+    def test_loop_back_edge_and_break(self):
+        cfg = func_cfg(
+            """
+            def f(items):
+                for item in items:
+                    if item:
+                        break
+                    use(item)
+                return 1
+            """
+        )
+        head = node_matching(cfg, "for item")
+        use = node_matching(cfg, "use(item)")
+        # back edge: loop body returns to the head
+        assert head.index in cfg.succ[use.index]
+        ret = node_matching(cfg, "return")
+        assert cfg.path_avoiding(head.index, ret.index, lambda n: False)
+
+
+class TestReachingDefs:
+    def test_fresh_def_reaches_use(self):
+        cfg = func_cfg(
+            """
+            def f(ctx):
+                q = ctx.Queue()
+                spawn(q)
+            """
+        )
+        rd = ReachingDefs(cfg)
+        spawn = node_matching(cfg, "spawn")
+        qdef = node_matching(cfg, "q = ctx.Queue()")
+        assert rd.defs_reaching(spawn.index, "q") == {qdef.index}
+
+    def test_redefinition_kills_previous(self):
+        cfg = func_cfg(
+            """
+            def f(ctx):
+                q = old
+                q = ctx.Queue()
+                spawn(q)
+            """
+        )
+        rd = ReachingDefs(cfg)
+        spawn = node_matching(cfg, "spawn")
+        fresh = node_matching(cfg, "q = ctx.Queue()")
+        assert rd.defs_reaching(spawn.index, "q") == {fresh.index}
+
+    def test_branches_merge_both_defs(self):
+        cfg = func_cfg(
+            """
+            def f(ctx, flag):
+                if flag:
+                    q = ctx.Queue()
+                else:
+                    q = other
+                spawn(q)
+            """
+        )
+        rd = ReachingDefs(cfg)
+        spawn = node_matching(cfg, "spawn")
+        assert len(rd.defs_reaching(spawn.index, "q")) == 2
+
+    def test_attribute_paths_are_tracked(self):
+        cfg = func_cfg(
+            """
+            def f(t, ctx):
+                t.inbox = ctx.Queue()
+                spawn(t.inbox)
+            """
+        )
+        rd = ReachingDefs(cfg)
+        spawn = node_matching(cfg, "spawn")
+        assert len(rd.defs_reaching(spawn.index, "t.inbox")) == 1
+
+    def test_rebinding_base_kills_attribute(self):
+        cfg = func_cfg(
+            """
+            def f(ctx, make):
+                t = make()
+                t.inbox = ctx.Queue()
+                t = make()
+                spawn(t.inbox)
+            """
+        )
+        rd = ReachingDefs(cfg)
+        spawn = node_matching(cfg, "spawn")
+        queue_def = node_matching(cfg, "t.inbox = ctx.Queue()")
+        assert queue_def.index not in rd.defs_reaching(spawn.index, "t.inbox")
+
+    def test_parameter_has_no_local_def(self):
+        cfg = func_cfg(
+            """
+            def f(q):
+                spawn(q)
+            """
+        )
+        rd = ReachingDefs(cfg)
+        spawn = node_matching(cfg, "spawn")
+        assert rd.defs_reaching(spawn.index, "q") == set()
+
+
+class TestFunctionSummaries:
+    def test_fsyncs_all_exits(self):
+        project, module = one_module_project(
+            """
+            import os
+
+            def append(fh, line):
+                fh.write(line)
+                fh.flush()
+                os.fsync(fh.fileno())
+            """
+        )
+        (fn,) = module.functions
+        assert fn.summary().calls_fsync
+        assert fn.summary().fsyncs_all_exits
+
+    def test_fsync_on_one_branch_is_not_all_exits(self):
+        project, module = one_module_project(
+            """
+            import os
+
+            def append(fh, line, fast):
+                fh.write(line)
+                if not fast:
+                    os.fsync(fh.fileno())
+            """
+        )
+        (fn,) = module.functions
+        assert fn.summary().calls_fsync
+        assert not fn.summary().fsyncs_all_exits
+
+    def test_one_level_helper_fsync_counts(self):
+        project, module = one_module_project(
+            """
+            import os
+
+            def _sync(fh):
+                os.fsync(fh.fileno())
+
+            def append(fh, line):
+                fh.write(line)
+                _sync(fh)
+            """
+        )
+        append = next(f for f in module.functions if f.name == "append")
+        assert append.summary().fsyncs_all_exits
+
+    def test_returns_file_handle(self):
+        project, module = one_module_project(
+            """
+            def writer(path):
+                fh = path.open("ab")
+                return fh
+            """
+        )
+        (fn,) = module.functions
+        assert fn.summary().returns_file_handle
+
+    def test_spawn_queue_args_recorded(self):
+        project, module = one_module_project(
+            """
+            import multiprocessing as mp
+
+            def start(t, worker):
+                p = mp.Process(target=worker, args=(t.tenant_id, t.inbox))
+                p.start()
+                return p
+            """
+        )
+        (fn,) = module.functions
+        assert fn.summary().spawn_queue_args == ("t.inbox",)
+
+    def test_method_resolution_by_receiver_hint(self):
+        project, module = one_module_project(
+            """
+            import os
+
+            class TenantWAL:
+                def append(self, seq):
+                    os.fsync(seq)
+
+            class Other:
+                def append(self, seq):
+                    pass
+
+            def ingest(t):
+                t.wal.append(1)
+            """,
+            path="service/wal.py",
+        )
+        call = next(
+            n
+            for n in ast.walk(module.tree)
+            if isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Attribute)
+            and dotted_name(n.func.value) == "t.wal"
+        )
+        resolved = project.resolve_method_call(call)
+        assert resolved is not None
+        assert resolved.class_name == "TenantWAL"
+
+    def test_ambiguous_receiver_stays_unresolved(self):
+        project, module = one_module_project(
+            """
+            class AlphaStore:
+                def save(self):
+                    pass
+
+            class AlphaCache:
+                def save(self):
+                    pass
+
+            def run(alpha):
+                alpha.save()
+            """
+        )
+        call = next(
+            n
+            for n in ast.walk(module.tree)
+            if isinstance(n, ast.Call) and isinstance(n.func, ast.Attribute)
+        )
+        assert project.resolve_method_call(call) is None

@@ -1,0 +1,326 @@
+"""CONC-* rule coverage: fork-boundary capture, worker-side mutation,
+queue reuse across worker generations.
+
+Each rule gets triggering and non-triggering fixtures, including a
+synthetic reproduction of the real supervisor bug this family was built
+from: a SIGKILLed worker dying while holding an ``mp.Queue`` reader lock
+wedges any successor handed the same queue, so respawn paths must
+construct fresh queues.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.lint import lint_source
+
+
+def rules_of(findings) -> set:
+    return {f.rule for f in findings}
+
+
+def lint_snippet(code: str, path: str = "src/repro/daemon/workers.py"):
+    return lint_source(textwrap.dedent(code), path)
+
+
+# ----------------------------------------------------------------------
+# CONC-001: sync primitives across the fork boundary
+# ----------------------------------------------------------------------
+
+
+class TestCONC001:
+    def test_lock_in_process_args_violates(self):
+        findings = lint_snippet(
+            """
+            import threading
+            import multiprocessing as mp
+
+            def run(worker):
+                lock = threading.Lock()
+                p = mp.Process(target=worker, args=(lock,))
+                p.start()
+            """
+        )
+        assert "CONC-001" in rules_of(findings)
+        (f,) = [f for f in findings if f.rule == "CONC-001"]
+        assert "lock" in f.message
+
+    def test_shared_memory_handle_violates(self):
+        findings = lint_snippet(
+            """
+            import multiprocessing as mp
+            from multiprocessing.shared_memory import SharedMemory
+
+            def run(worker):
+                seg = SharedMemory(name="x")
+                p = mp.Process(target=worker, args=(seg,))
+                p.start()
+            """
+        )
+        assert "CONC-001" in rules_of(findings)
+
+    def test_composite_holding_lock_violates(self):
+        findings = lint_snippet(
+            """
+            import threading
+            import multiprocessing as mp
+
+            class Tenant:
+                def __init__(self):
+                    self.lock = threading.RLock()
+
+            def run(worker):
+                t = Tenant()
+                p = mp.Process(target=worker, args=(t,))
+                p.start()
+            """
+        )
+        assert "CONC-001" in rules_of(findings)
+        (f,) = [f for f in findings if f.rule == "CONC-001"]
+        assert "Tenant" in f.message
+
+    def test_closure_over_lock_violates(self):
+        findings = lint_snippet(
+            """
+            import threading
+            import multiprocessing as mp
+
+            def run():
+                lock = threading.Lock()
+
+                def body():
+                    with lock:
+                        pass
+
+                p = mp.Process(target=body, args=())
+                p.start()
+            """
+        )
+        assert "CONC-001" in rules_of(findings)
+
+    def test_plain_data_and_queue_clean(self):
+        findings = lint_snippet(
+            """
+            import multiprocessing as mp
+
+            def run(worker, ctx):
+                inbox = ctx.Queue(maxsize=16)
+                p = mp.Process(target=worker, args=("tenant-a", 3, inbox))
+                p.start()
+            """
+        )
+        assert "CONC-001" not in rules_of(findings)
+
+    def test_suppression_comment_honored(self):
+        findings = lint_snippet(
+            """
+            import threading
+            import multiprocessing as mp
+
+            def run(worker):
+                lock = threading.Lock()
+                p = mp.Process(target=worker, args=(lock,))  # repro: allow[CONC-001]: test harness
+                p.start()
+            """
+        )
+        assert "CONC-001" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# CONC-002: worker-side mutation of supervisor-owned state
+# ----------------------------------------------------------------------
+
+
+class TestCONC002:
+    def test_worker_declares_global_violates(self):
+        findings = lint_snippet(
+            """
+            import multiprocessing as mp
+
+            LIVE = {}
+
+            def worker_main(tenant_id):
+                global LIVE
+                LIVE[tenant_id] = "started"
+
+            def spawn(tid):
+                p = mp.Process(target=worker_main, args=(tid,))
+                p.start()
+            """
+        )
+        assert "CONC-002" in rules_of(findings)
+
+    def test_worker_mutates_registry_violates(self):
+        findings = lint_snippet(
+            """
+            import multiprocessing as mp
+
+            def worker_main(registry, tid):
+                registry.register(tid)
+
+            def spawn(registry, tid):
+                p = mp.Process(target=worker_main, args=(registry, tid))
+                p.start()
+            """
+        )
+        assert "CONC-002" in rules_of(findings)
+
+    def test_worker_helper_one_level_violates(self):
+        findings = lint_snippet(
+            """
+            import multiprocessing as mp
+
+            def _record(registry, tid):
+                registry.tenants[tid] = "up"
+
+            def worker_main(registry, tid):
+                _record(registry, tid)
+
+            def spawn(registry, tid):
+                p = mp.Process(target=worker_main, args=(registry, tid))
+                p.start()
+            """
+        )
+        assert "CONC-002" in rules_of(findings)
+
+    def test_worker_reports_via_outbox_clean(self):
+        findings = lint_snippet(
+            """
+            import multiprocessing as mp
+
+            def worker_main(inbox, outbox):
+                item = inbox.get()
+                outbox.put(("done", item))
+
+            def spawn(ctx):
+                inbox, outbox = ctx.Queue(), ctx.Queue()
+                p = mp.Process(target=worker_main, args=(inbox, outbox))
+                p.start()
+            """
+        )
+        assert "CONC-002" not in rules_of(findings)
+
+    def test_supervisor_side_registry_writes_clean(self):
+        # The same store is fine in a function that is NOT a spawn target.
+        findings = lint_snippet(
+            """
+            def admit(registry, tid):
+                registry.tenants[tid] = "up"
+            """
+        )
+        assert "CONC-002" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# CONC-003: queue reuse across worker generations (the SIGKILL wedge)
+# ----------------------------------------------------------------------
+
+
+class TestCONC003:
+    def test_pr7_queue_reuse_repro_violates(self):
+        """Synthetic reproduction of the real supervisor bug: the respawn
+        path hands the dead generation's queue to the new worker."""
+        findings = lint_snippet(
+            """
+            import multiprocessing as mp
+
+            def on_worker_death(t, worker_main):
+                if t.proc.exitcode is not None:
+                    # BUG: t.inbox may still be locked by the dead reader.
+                    p = mp.Process(target=worker_main, args=(t.tenant_id, t.inbox))
+                    p.start()
+                    t.proc = p
+            """
+        )
+        assert "CONC-003" in rules_of(findings)
+        (f,) = [f for f in findings if f.rule == "CONC-003"]
+        assert "t.inbox" in f.message
+
+    def test_fresh_queue_per_generation_clean(self):
+        findings = lint_snippet(
+            """
+            import multiprocessing as mp
+
+            def on_worker_death(t, worker_main, ctx):
+                if t.proc.exitcode is not None:
+                    t.inbox = ctx.Queue(maxsize=16)
+                    p = mp.Process(target=worker_main, args=(t.tenant_id, t.inbox))
+                    p.start()
+                    t.proc = p
+            """
+        )
+        assert "CONC-003" not in rules_of(findings)
+
+    def test_first_spawn_without_death_signal_clean(self):
+        # Handing an inherited queue to the FIRST generation is fine; the
+        # rule only fires in scopes that observe a worker death.
+        findings = lint_snippet(
+            """
+            import multiprocessing as mp
+
+            def start_tenant(t, worker_main):
+                p = mp.Process(target=worker_main, args=(t.tenant_id, t.inbox))
+                p.start()
+            """
+        )
+        assert "CONC-003" not in rules_of(findings)
+
+    def test_restart_named_scope_counts_as_death_observer(self):
+        findings = lint_snippet(
+            """
+            import multiprocessing as mp
+
+            def restart_worker(t, worker_main):
+                p = mp.Process(target=worker_main, args=(t.tenant_id, t.inbox))
+                p.start()
+            """
+        )
+        assert "CONC-003" in rules_of(findings)
+
+    def test_one_level_spawn_helper_transfers_obligation(self):
+        # The helper spawns with caller-supplied queues; the caller observes
+        # the death, so the freshness obligation lands at the call site.
+        findings = lint_snippet(
+            """
+            import multiprocessing as mp
+
+            def _start(t, worker_main):
+                p = mp.Process(target=worker_main, args=(t.tenant_id, t.inbox))
+                p.start()
+                return p
+
+            def on_worker_death(t, worker_main):
+                t.proc.terminate()
+                t.proc = _start(t, worker_main)
+            """
+        )
+        assert "CONC-003" in rules_of(findings)
+
+    def test_one_level_helper_with_fresh_queue_clean(self):
+        findings = lint_snippet(
+            """
+            import multiprocessing as mp
+
+            def _start(t, worker_main):
+                p = mp.Process(target=worker_main, args=(t.tenant_id, t.inbox))
+                p.start()
+                return p
+
+            def on_worker_death(t, worker_main, ctx):
+                t.proc.terminate()
+                t.inbox = ctx.Queue(maxsize=16)
+                t.proc = _start(t, worker_main)
+            """
+        )
+        assert "CONC-003" not in rules_of(findings)
+
+
+class TestRealSupervisorIsClean:
+    def test_service_tree_has_no_conc_findings(self):
+        from pathlib import Path
+
+        from repro.devtools.lint import lint_paths
+
+        root = Path(__file__).resolve().parents[1] / "src" / "repro" / "service"
+        findings = [f for f in lint_paths([root]) if f.rule.startswith("CONC")]
+        assert findings == []

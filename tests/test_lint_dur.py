@@ -1,0 +1,330 @@
+"""DUR-* rule coverage plus regression tests for the two real durability
+bugs the family surfaced when dogfooded (missing directory fsyncs in
+``TenantWAL._writer`` and ``SweepCheckpoint.append``).
+
+DUR rules are scoped to durable modules (wal/snapshot/checkpoint stems or
+anything under a ``service`` directory), so fixtures pick their display
+path to opt in or out of the scope.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.devtools.lint import lint_source
+from repro.engine.checkpoint import SweepCheckpoint
+from repro.service.wal import TenantWAL
+
+
+def rules_of(findings) -> set:
+    return {f.rule for f in findings}
+
+
+def lint_snippet(code: str, path: str = "src/repro/service/wal.py"):
+    return lint_source(textwrap.dedent(code), path)
+
+
+# ----------------------------------------------------------------------
+# DUR-001: fsync dominates the rename-into-place
+# ----------------------------------------------------------------------
+
+
+class TestDUR001:
+    def test_rename_without_fsync_violates(self):
+        findings = lint_snippet(
+            """
+            import os
+
+            def publish(tmp_path, final_path, data):
+                with open(tmp_path, "wb") as fh:
+                    fh.write(data)
+                os.rename(tmp_path, final_path)
+            """
+        )
+        assert "DUR-001" in rules_of(findings)
+
+    def test_fsync_then_rename_clean(self):
+        findings = lint_snippet(
+            """
+            import os
+
+            def _fsync_dir(d):
+                fd = os.open(d, os.O_RDONLY)
+                try:
+                    os.fsync(fd)
+                finally:
+                    os.close(fd)
+
+            def publish(tmp_path, final_path, parent, data):
+                with open(tmp_path, "wb") as fh:
+                    fh.write(data)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.rename(tmp_path, final_path)
+                _fsync_dir(parent)
+            """
+        )
+        assert "DUR-001" not in rules_of(findings)
+
+    def test_fsync_on_one_branch_only_violates(self):
+        findings = lint_snippet(
+            """
+            import os
+
+            def publish(tmp_path, final_path, data, fast):
+                with open(tmp_path, "wb") as fh:
+                    fh.write(data)
+                    if not fast:
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                os.rename(tmp_path, final_path)
+            """
+        )
+        assert "DUR-001" in rules_of(findings)
+
+    def test_string_replace_is_not_a_rename(self):
+        findings = lint_snippet(
+            """
+            def normalize(name):
+                return name.replace("-", "_")
+            """
+        )
+        assert "DUR-001" not in rules_of(findings)
+
+    def test_outside_durable_scope_ignored(self):
+        findings = lint_snippet(
+            """
+            import os
+
+            def publish(tmp_path, final_path, data):
+                with open(tmp_path, "wb") as fh:
+                    fh.write(data)
+                os.rename(tmp_path, final_path)
+            """,
+            path="src/repro/engine/builds.py",
+        )
+        assert "DUR-001" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# DUR-002: no ack (normal return) after an unfsynced durable write
+# ----------------------------------------------------------------------
+
+
+class TestDUR002:
+    def test_return_after_unfsynced_write_violates(self):
+        findings = lint_snippet(
+            """
+            def append(path, line):
+                fh = open(path, "ab")
+                fh.write(line)
+                return True
+            """
+        )
+        assert "DUR-002" in rules_of(findings)
+
+    def test_fsync_before_return_clean(self):
+        findings = lint_snippet(
+            """
+            import os
+
+            def append(path, line):
+                fh = open(path, "ab")
+                fh.write(line)
+                fh.flush()
+                os.fsync(fh.fileno())
+                return True
+            """
+        )
+        assert "DUR-002" not in rules_of(findings)
+
+    def test_raise_is_not_an_ack(self):
+        # An exception exit after a write is fine: nothing was acked.
+        findings = lint_snippet(
+            """
+            import os
+
+            def append(path, line):
+                fh = open(path, "ab")
+                fh.write(line)
+                if len(line) > 100:
+                    raise ValueError("oversized record")
+                fh.flush()
+                os.fsync(fh.fileno())
+            """
+        )
+        assert "DUR-002" not in rules_of(findings)
+
+    def test_stderr_write_is_not_durable(self):
+        findings = lint_snippet(
+            """
+            import sys
+
+            def log(msg):
+                sys.stderr.write(msg + "\\n")
+            """
+        )
+        assert "DUR-002" not in rules_of(findings)
+
+    def test_handle_from_local_helper_is_traced(self):
+        # `fh = self._writer(...)` — the helper's summary says it returns a
+        # handle it opened, so the write is durable and needs the fsync.
+        findings = lint_snippet(
+            """
+            class WAL:
+                def _writer(self, path):
+                    self._fh = path.open("ab")
+                    return self._fh
+
+                def append(self, path, line):
+                    fh = self._writer(path)
+                    fh.write(line)
+                    return True
+            """
+        )
+        assert "DUR-002" in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# DUR-003: directory fsync after creating/renaming a file
+# ----------------------------------------------------------------------
+
+
+class TestDUR003:
+    def test_old_wal_writer_shape_violates(self):
+        """Regression: the exact pre-fix ``TenantWAL._writer`` shape (new
+        segment created, file data fsynced elsewhere, directory never)."""
+        findings = lint_snippet(
+            """
+            class WAL:
+                def _writer(self, seq):
+                    if self._fh is None:
+                        self._fh_path = self.root / f"wal-{seq:012d}.jsonl"
+                        self._fh = self._fh_path.open("ab")
+                    return self._fh
+            """
+        )
+        assert "DUR-003" in rules_of(findings)
+
+    def test_fixed_wal_writer_shape_clean(self):
+        findings = lint_snippet(
+            """
+            from repro.service.snapshot import _fsync_dir
+
+            class WAL:
+                def _writer(self, seq):
+                    if self._fh is None:
+                        fresh = not self._segments()
+                        self._fh_path = self.root / f"wal-{seq:012d}.jsonl"
+                        self._fh = self._fh_path.open("ab")
+                        if fresh:
+                            _fsync_dir(self.root)
+                    return self._fh
+            """
+        )
+        assert "DUR-003" not in rules_of(findings)
+
+    def test_data_fsync_does_not_satisfy_dir_fsync(self):
+        """Regression: the exact pre-fix ``SweepCheckpoint.append`` shape —
+        the row fsync persists bytes, not the new directory entry."""
+        findings = lint_snippet(
+            """
+            import os
+
+            def append(path, record):
+                with path.open("a") as fh:
+                    fh.write(record)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            """,
+            path="src/repro/engine/checkpoint.py",
+        )
+        assert "DUR-003" in rules_of(findings)
+
+    def test_conditional_dir_fsync_on_create_clean(self):
+        findings = lint_snippet(
+            """
+            import os
+
+            def _fsync_dir(d):
+                fd = os.open(d, os.O_RDONLY)
+                try:
+                    os.fsync(fd)
+                finally:
+                    os.close(fd)
+
+            def append(path, record):
+                created = not path.exists()
+                with path.open("a") as fh:
+                    fh.write(record)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                if created:
+                    _fsync_dir(path.parent)
+            """,
+            path="src/repro/engine/checkpoint.py",
+        )
+        assert "DUR-003" not in rules_of(findings)
+
+    def test_read_open_is_not_a_create(self):
+        findings = lint_snippet(
+            """
+            def replay(path):
+                with path.open("rb") as fh:
+                    return fh.read()
+            """
+        )
+        assert "DUR-003" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# Regressions for the two real bugs the rules surfaced (behavioral)
+# ----------------------------------------------------------------------
+
+
+class TestFixedDurabilityBugs:
+    def test_wal_new_segment_fsyncs_directory(self, tmp_path, monkeypatch):
+        """A freshly created WAL segment's directory entry is fsynced, and
+        appends into an existing segment do not re-fsync the directory."""
+        import repro.service.wal as wal_mod
+
+        calls = []
+        monkeypatch.setattr(
+            wal_mod, "_fsync_dir", lambda p: calls.append(Path(p))
+        )
+        wal = TenantWAL(tmp_path / "wal", segment_bytes=200)
+        wal.append(1, [1, 2], None)
+        assert calls == [tmp_path / "wal"]  # first segment created
+        wal.append(2, [3], None)
+        assert len(calls) == 1  # same segment: no directory change
+        # Force a roll: fill past the cap, then append again.
+        wal.append(3, list(range(64)), None)
+        wal.append(4, [9], None)
+        assert len(calls) == 2  # second segment created -> second dir fsync
+        wal.close()
+
+    def test_checkpoint_creation_fsyncs_directory(self, tmp_path, monkeypatch):
+        import numpy as np
+
+        import repro.engine.checkpoint as ckpt_mod
+
+        calls = []
+        monkeypatch.setattr(
+            ckpt_mod, "_fsync_dir", lambda p: calls.append(Path(p))
+        )
+        path = tmp_path / "sweep.ckpt"
+        ckpt = SweepCheckpoint(path, {"seed": 1})
+        row = (0, np.array([1.0]), np.array([0.5]), "requests", {})
+        ckpt.append(row)
+        assert calls == [tmp_path]  # file created on first append
+        ckpt.append((1, np.array([2.0]), np.array([0.4]), "requests", {}))
+        assert len(calls) == 1  # file already existed: no second dir fsync
+
+    def test_wal_replay_survives_fix(self, tmp_path):
+        wal = TenantWAL(tmp_path / "wal", segment_bytes=128)
+        for seq in range(1, 6):
+            wal.append(seq, [seq, seq + 1], [10, 20])
+        wal.close()
+        replayed = list(TenantWAL(tmp_path / "wal").replay(0))
+        assert [b[0] for b in replayed] == [1, 2, 3, 4, 5]

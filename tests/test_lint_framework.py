@@ -1,0 +1,213 @@
+"""Framework-level lint machinery tests: suppression spans on multi-line
+statements, baseline round-trips with relative paths, and the JSON report
+schema pinned by a committed golden file.
+
+These are deliberately independent of any single rule's logic — they pin
+the contracts that every rule family (RNG/SHM/DET/PY/CONC/DUR/NAT) rides
+on, so a framework regression cannot hide behind a passing rule test.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.devtools.findings import Finding
+from repro.devtools.lint import (
+    _apply_suppressions,
+    apply_baseline,
+    lint_source,
+    load_baseline,
+    render_json,
+    write_baseline,
+)
+
+GOLDEN = Path(__file__).with_name("data") / "lint_report_golden.json"
+
+# A multi-line spawn that trips CONC-001 (lock across the fork boundary):
+# the statement spans four lines, so the allow-comment may sit on any of
+# them — most naturally the closing-paren line, where reviewers expect it.
+_MULTILINE_SPAWN = """\
+import threading
+import multiprocessing as mp
+
+def run(worker):
+    lock = threading.Lock()
+    p = mp.Process(
+        target=worker,
+        args=(lock,),{comment}
+    )
+    p.start()
+"""
+
+
+def _lint(code: str, path: str = "src/repro/daemon/workers.py"):
+    return lint_source(textwrap.dedent(code), path)
+
+
+def _span_finding(line: int, end_line: int, rule: str = "NAT-001") -> Finding:
+    return Finding(
+        rule=rule, severity="error", path="m.py", line=line, col=0,
+        message="m", fix_hint="h", snippet="s", end_line=end_line,
+    )
+
+
+class TestMultiLineSuppression:
+    # The span contract: a finding covering lines [line, end_line] is
+    # suppressed by an allow-comment on ANY line of that span.  Exercised
+    # directly against _apply_suppressions (rule-independent), then end to
+    # end through a real rule below.
+
+    SOURCE = "\n".join(
+        [
+            "fn.argtypes = [            # line 1",
+            "    ctypes.c_void_p,       # line 2",
+            "    ctypes.c_int64,        # line 3",
+            "]                          # line 4",
+            "other = 1                  # line 5",
+        ]
+    )
+
+    def test_allow_anywhere_in_span_suppresses(self):
+        for comment_line in (1, 2, 4):
+            lines = self.SOURCE.splitlines()
+            lines[comment_line - 1] += "  # repro: allow[NAT-001]: fixture"
+            kept = _apply_suppressions(
+                "\n".join(lines), [_span_finding(1, 4)]
+            )
+            assert kept == [], f"comment on line {comment_line} ignored"
+
+    def test_allow_outside_span_does_not_suppress(self):
+        lines = self.SOURCE.splitlines()
+        lines[4] += "  # repro: allow[NAT-001]: wrong line"
+        kept = _apply_suppressions("\n".join(lines), [_span_finding(1, 4)])
+        assert len(kept) == 1
+
+    def test_zero_end_line_means_single_line_span(self):
+        lines = self.SOURCE.splitlines()
+        lines[1] += "  # repro: allow[NAT-001]: below the anchor"
+        kept = _apply_suppressions(
+            "\n".join(lines), [_span_finding(1, 0)]
+        )
+        assert len(kept) == 1  # end_line=0: only the anchor line counts
+
+    def test_allow_on_interior_line_suppresses_end_to_end(self):
+        code = _MULTILINE_SPAWN.format(
+            comment="  # repro: allow[CONC-001]: harness fixture"
+        )
+        assert not [f for f in _lint(code) if f.rule == "CONC-001"]
+
+    def test_allow_for_other_rule_does_not_suppress(self):
+        code = _MULTILINE_SPAWN.format(
+            comment="  # repro: allow[RNG-001]: wrong rule id"
+        )
+        assert [f for f in _lint(code) if f.rule == "CONC-001"]
+
+    def test_suppression_does_not_leak_past_the_span(self):
+        # Two findings, one allow: only the commented statement is cleared.
+        code = _MULTILINE_SPAWN.format(
+            comment="  # repro: allow[CONC-001]: harness fixture"
+        ) + textwrap.dedent(
+            """
+            def run_again(worker):
+                lock = threading.Lock()
+                q = mp.Process(target=worker, args=(lock,))
+                q.start()
+            """
+        )
+        assert len([f for f in _lint(code) if f.rule == "CONC-001"]) == 1
+
+
+class TestBaselineRoundTrip:
+    CODE = _MULTILINE_SPAWN.format(comment="")
+
+    def test_round_trip_with_relative_paths(self, tmp_path):
+        # Baselines store fingerprints keyed off the *display* path, which
+        # in CI is repo-relative; the round trip must not absolutize it.
+        rel = "src/repro/daemon/workers.py"
+        findings = _lint(self.CODE, path=rel)
+        assert findings and all(f.path == rel for f in findings)
+
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, findings)
+        loaded = load_baseline(baseline_path)
+        assert apply_baseline(findings, loaded) == []
+
+        # The file itself keeps the relative path out of the payload — only
+        # fingerprints and counts, so moving the repo root changes nothing.
+        raw = json.loads(baseline_path.read_text())
+        assert set(raw) == {"version", "tool", "count", "fingerprints"}
+        assert raw["count"] == len(findings)
+
+    def test_fingerprints_survive_line_drift(self, tmp_path):
+        rel = "src/repro/daemon/workers.py"
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, _lint(self.CODE, path=rel))
+
+        drifted = "# a new header comment\n\n" + self.CODE
+        fresh = apply_baseline(
+            _lint(drifted, path=rel), load_baseline(baseline_path)
+        )
+        assert fresh == []
+
+    def test_new_findings_exceed_the_frozen_budget(self, tmp_path):
+        rel = "src/repro/daemon/workers.py"
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, _lint(self.CODE, path=rel))
+
+        doubled = self.CODE + self.CODE.replace("def run(", "def run2(")
+        fresh = apply_baseline(
+            _lint(doubled, path=rel), load_baseline(baseline_path)
+        )
+        # The baseline budget covers one occurrence per fingerprint; the
+        # copy-pasted duplicates must surface as new findings.
+        assert fresh
+
+
+class TestJsonReportGoldenFile:
+    """The JSON report is a CI artifact consumed outside this repo, so its
+    schema is pinned byte-for-byte.  Fields are append-only: if this test
+    fails, either restore the schema or bump `version` and regenerate the
+    golden file deliberately."""
+
+    @staticmethod
+    def _findings():
+        return [
+            Finding(
+                rule="CONC-003",
+                severity="error",
+                path="src/repro/daemon/workers.py",
+                line=41,
+                col=8,
+                message="respawn reuses queue 't.inbox' from the dead "
+                "generation",
+                fix_hint="construct a fresh Queue per worker generation",
+                snippet="p = mp.Process(target=main, args=(t.inbox,))",
+                end_line=44,
+            ),
+            Finding(
+                rule="RNG-002",
+                severity="error",
+                path="tests/test_engine.py",
+                line=31,
+                col=17,
+                message="helper bypasses the rng entry point",
+                fix_hint="accept `rng` and normalize it with ensure_rng(rng)",
+                snippet="rng = np.random.default_rng(0)",
+            ),
+        ]
+
+    def test_report_matches_golden_file(self):
+        assert render_json(self._findings()) + "\n" == GOLDEN.read_text()
+
+    def test_golden_file_invariants(self):
+        payload = json.loads(GOLDEN.read_text())
+        assert payload["version"] == 2
+        assert payload["summary"]["total"] == len(payload["findings"])
+        for f in payload["findings"]:
+            assert set(f) == {
+                "rule", "severity", "path", "line", "col", "end_line",
+                "message", "fix_hint", "snippet", "fingerprint",
+            }
+            assert len(f["fingerprint"]) == 16

@@ -482,6 +482,9 @@ class TestMachinery:
     def test_every_shipped_rule_has_id_severity_and_hint(self):
         assert set(RULES) == {
             "RNG-001", "RNG-002", "SHM-001", "DET-001", "PY-001", "PY-002",
+            "CONC-001", "CONC-002", "CONC-003",
+            "DUR-001", "DUR-002", "DUR-003",
+            "NAT-001", "NAT-002", "NAT-003",
         }
         for rule in RULES.values():
             assert rule.severity in ("info", "warning", "error")
