@@ -1,5 +1,17 @@
 """Online control built on KRR: the DLRU adaptive sampling-size cache."""
 
-from .dlru import DEFAULT_CANDIDATES, AdaptiveKLRUCache, RetuneEvent
+from .dlru import (
+    DEFAULT_CANDIDATES,
+    MIN_RETUNE_SAMPLES,
+    AdaptiveKLRUCache,
+    RetuneEvent,
+    choose_best_k,
+)
 
-__all__ = ["AdaptiveKLRUCache", "DEFAULT_CANDIDATES", "RetuneEvent"]
+__all__ = [
+    "AdaptiveKLRUCache",
+    "DEFAULT_CANDIDATES",
+    "MIN_RETUNE_SAMPLES",
+    "RetuneEvent",
+    "choose_best_k",
+]

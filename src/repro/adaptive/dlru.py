@@ -27,20 +27,62 @@ from ..simulator.klru import KLRUCache
 __all__ = [
     "AdaptiveKLRUCache",
     "DEFAULT_CANDIDATES",
+    "MIN_RETUNE_SAMPLES",
     "RetuneEvent",
+    "choose_best_k",
 ]
 
 
 DEFAULT_CANDIDATES = (1, 2, 4, 8, 16)
 
+#: A candidate model must have sampled at least this many references
+#: before its prediction is trusted in a retune decision.
+MIN_RETUNE_SAMPLES = 50
+
 
 @dataclass
 class RetuneEvent:
-    """One K-switch decision, kept for post-hoc inspection."""
+    """One K-switch decision, kept for post-hoc inspection.
+
+    ``skipped`` lists candidate Ks whose models were still cold
+    (fewer than :data:`MIN_RETUNE_SAMPLES` sampled references) and were
+    therefore excluded from this decision.
+    """
 
     at_request: int
     chosen_k: int
     predicted: dict[int, float] = field(default_factory=dict)
+    skipped: tuple[int, ...] = ()
+
+
+def choose_best_k(
+    models: dict[int, KRRModel],
+    capacity: float,
+    min_sampled: int = MIN_RETUNE_SAMPLES,
+) -> tuple[Optional[int], dict[int, float], tuple[int, ...]]:
+    """Pick the candidate K with the lowest predicted miss ratio at ``capacity``.
+
+    Only *warm* candidates — models with at least ``min_sampled`` sampled
+    references — take part; cold ones are reported back instead of
+    vetoing the decision (one never-warm candidate, e.g. a large K at a
+    low spatial rate, must not block retuning forever).
+
+    Returns ``(best, predicted, skipped)``; ``best`` is ``None`` when no
+    candidate is warm yet.  Shared by :class:`AdaptiveKLRUCache` and
+    :class:`repro.cache.lru.SamplingLRUCache`.
+    """
+    predicted: dict[int, float] = {}
+    skipped: list[int] = []
+    for k in sorted(models):
+        model = models[k]
+        if model.stats.requests_sampled < min_sampled:
+            skipped.append(k)
+            continue
+        predicted[k] = float(model.mrc()(capacity))
+    if not predicted:
+        return None, predicted, tuple(skipped)
+    best = min(predicted, key=predicted.__getitem__)
+    return best, predicted, tuple(skipped)
 
 
 class AdaptiveKLRUCache:
@@ -134,14 +176,16 @@ class AdaptiveKLRUCache:
         return hit
 
     def _retune(self) -> None:
-        predicted: dict[int, float] = {}
-        for k, model in self._models.items():
-            if model.stats.requests_sampled < 50:
-                return  # not enough signal yet; keep the current K
-            predicted[k] = float(model.mrc()(self.capacity))
-        best = min(predicted, key=predicted.get)
+        best, predicted, skipped = choose_best_k(self._models, self.capacity)
+        if best is None:
+            return  # every candidate still cold; keep the current K
         self.events.append(
-            RetuneEvent(at_request=self._requests, chosen_k=best, predicted=predicted)
+            RetuneEvent(
+                at_request=self._requests,
+                chosen_k=best,
+                predicted=predicted,
+                skipped=skipped,
+            )
         )
         self._cache.k = best
 

@@ -1,0 +1,59 @@
+"""``repro.cache``: production sampling-LRU caches with built-in MRC models.
+
+The reproduction turned inside-out — from "a model of a cache" to "a
+cache with a built-in model":
+
+* :mod:`~repro.cache.eviction` — the shared K-sampling victim-selection
+  core; the ground-truth simulators in :mod:`repro.simulator.klru` and
+  the production cache run this *same* policy.
+* :mod:`~repro.cache.lru` — :class:`SamplingLRUCache`, a thread-safe,
+  byte-limited ``MutableMapping`` whose eviction is the paper's
+  K-sampling and which self-instruments (spatial sampler -> windowed KRR
+  model) to report its own MRC, ``miss_ratio_at(size)`` and
+  ``size_for_hit_rate(target)``, with optional online re-K.
+* :mod:`~repro.cache.registry` — process-local fleet registry feeding
+  the service's ``/caches`` introspection endpoints and LAMA-style
+  partition advice.
+
+``SamplingLRUCache`` and the registry are imported lazily: the simulator
+package imports the eviction core from here, and an eager import of
+:mod:`~repro.cache.lru` (which reaches back through ``adaptive`` into
+the simulators) would complete that cycle.
+
+See ``docs/CACHE.md`` for the API, the locking model and the
+self-modeling accuracy caveats.
+"""
+
+from typing import Any
+
+from .eviction import NO_PROTECT, ResidentSet, select_victim
+
+__all__ = [
+    "CacheRegistry",
+    "NO_PROTECT",
+    "ResidentSet",
+    "SamplingLRUCache",
+    "default_registry",
+    "default_sizeof",
+    "select_victim",
+]
+
+_LAZY = {
+    "SamplingLRUCache": "repro.cache.lru",
+    "default_sizeof": "repro.cache.lru",
+    "CacheRegistry": "repro.cache.registry",
+    "default_registry": "repro.cache.registry",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,149 @@
+"""The shared K-sampling eviction core (§3, Redis ``maxmemory-samples``).
+
+One policy, two consumers: the ground-truth simulators in
+:mod:`repro.simulator.klru` and the production
+:class:`~repro.cache.lru.SamplingLRUCache` both pick victims through
+:func:`select_victim`, so "the model's cache" and "the cache you deploy"
+are the exact same eviction law — draw-for-draw, not just in spirit.
+
+The core is deliberately tiny and dependency-free: a resident set with
+O(1) insert / swap-remove / uniform indexing, and a victim selector that
+samples ``K`` residents (with replacement — Redis semantics,
+Proposition 1 — or without, Proposition 2) and returns the least
+recently used of the sample.
+
+PRNG contract
+-------------
+``select_victim`` consumes exactly ``K`` ``rnd.randrange`` draws in
+with-replacement mode and exactly one ``rnd.sample`` draw otherwise,
+regardless of ``protect`` — callers that inline the same loop for speed
+(``KLRUCache.access_many``) stay bit-identical to callers that delegate.
+
+Protect semantics
+-----------------
+``protect`` shields one key (the key that triggered the eviction) while
+*alternatives exist*: sampled draws that hit it are skipped whenever the
+resident set holds more than one key, and if every draw hit the
+protected key a linear fallback scan picks any other resident.  When the
+protected key is the lone resident it *is* returned — a cache whose only
+object outgrew the budget must drop that object rather than stay over
+budget forever (the ``ByteKLRUCache`` lone-resident bug this module's
+extraction fixed).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional
+
+__all__ = [
+    "NO_PROTECT",
+    "ResidentSet",
+    "select_victim",
+]
+
+
+class _NoProtect:
+    """Sentinel: no key is shielded (distinct from a legitimate ``None`` key)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NO_PROTECT"
+
+
+#: Pass as ``protect`` (the default) when no key should be shielded.
+NO_PROTECT: Hashable = _NoProtect()
+
+
+class ResidentSet:
+    """Array + index map: O(1) insert, remove, and uniform sampling.
+
+    ``keys`` is the dense array the victim selector indexes uniformly;
+    ``index`` maps key -> position for swap-remove.  Keys may be any
+    hashable (the simulators use ints; the production cache uses
+    whatever the application does).
+    """
+
+    __slots__ = ("keys", "index")
+
+    def __init__(self) -> None:
+        self.keys: List[Hashable] = []
+        self.index: Dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self.index
+
+    def add(self, key: Hashable) -> None:
+        self.index[key] = len(self.keys)
+        self.keys.append(key)
+
+    def remove(self, key: Hashable) -> None:
+        i = self.index.pop(key)
+        last = self.keys.pop()
+        if last != key:
+            self.keys[i] = last
+            self.index[last] = i
+
+
+def select_victim(
+    keys: List[Hashable],
+    last_access: Dict[Hashable, int],
+    rnd: random.Random,
+    k: int,
+    with_replacement: bool,
+    protect: Hashable = NO_PROTECT,
+) -> Optional[Hashable]:
+    """Pick the sampled-LRU victim among ``keys``.
+
+    Parameters
+    ----------
+    keys:
+        Dense resident-key array (a :attr:`ResidentSet.keys`); must be
+        non-empty.
+    last_access:
+        key -> monotone access-clock value; smaller is older.
+    rnd:
+        The cache's PRNG (``random.Random``); consumed per the module
+        contract above.
+    k:
+        Sampling size ``K``.
+    with_replacement:
+        Redis "placing back" sampling when True, distinct-resident
+        sampling when False.
+    protect:
+        Key to shield while alternatives exist (see module docstring).
+
+    Returns the victim key, or ``None`` only when ``keys`` is empty.
+    """
+    n = len(keys)
+    if n == 0:
+        return None
+    victim: Optional[Hashable] = None
+    vt: Optional[int] = None
+    if with_replacement:
+        randrange = rnd.randrange
+        for _ in range(k):
+            cand = keys[randrange(n)]
+            if cand == protect and n > 1:
+                continue
+            ct = last_access[cand]
+            if vt is None or ct < vt:
+                victim, vt = cand, ct
+    else:
+        for i in rnd.sample(range(n), k if k < n else n):
+            cand = keys[i]
+            if cand == protect and n > 1:
+                continue
+            ct = last_access[cand]
+            if vt is None or ct < vt:
+                victim, vt = cand, ct
+    if victim is None:
+        # Every draw hit the protected key (n > 1): any other resident.
+        for cand in keys:
+            if cand != protect:
+                return cand
+    return victim

@@ -1,0 +1,132 @@
+"""Process-local cache registry: fleet introspection and partition advice.
+
+Every :class:`~repro.cache.lru.SamplingLRUCache` can be registered here
+(by its ``name``); the registry is what the ``/caches`` endpoints of the
+service expose, and — because each registered cache carries its own MRC —
+it can run the LAMA-style budget split from
+:mod:`repro.partition.optimizer` over the *live fleet*: "given these N
+caches' self-models and a total byte budget, how should the budget be
+divided to minimize total weighted misses?".
+
+A module-level :data:`default_registry` serves the common one-registry-
+per-process case; construct private registries for tests or multi-fleet
+processes.  The registry itself is thread-safe (one lock around the name
+map); the heavy work (curve queries) happens on cache snapshots outside
+that lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from ..partition.optimizer import PartitionResult, Tenant, greedy_partition
+from .lru import SamplingLRUCache
+
+__all__ = [
+    "CacheRegistry",
+    "default_registry",
+]
+
+
+class CacheRegistry:
+    """Thread-safe name -> cache map with fleet-level queries."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._caches: Dict[str, SamplingLRUCache] = {}
+
+    def register(self, cache: SamplingLRUCache) -> SamplingLRUCache:
+        """Add a cache under its ``name``; duplicate names are an error."""
+        with self._lock:
+            if cache.name in self._caches:
+                raise ValueError(f"a cache named {cache.name!r} is already registered")
+            self._caches[cache.name] = cache
+        return cache
+
+    def unregister(self, name: str) -> bool:
+        with self._lock:
+            return self._caches.pop(name, None) is not None
+
+    def get(self, name: str) -> Optional[SamplingLRUCache]:
+        with self._lock:
+            return self._caches.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._caches)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._caches)
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._caches
+
+    def clear(self) -> None:
+        with self._lock:
+            self._caches.clear()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[SamplingLRUCache]:
+        with self._lock:
+            return [self._caches[name] for name in sorted(self._caches)]
+
+    def summaries(self) -> List[Dict[str, Any]]:
+        """One-line summary per cache (the ``GET /caches`` payload)."""
+        out: List[Dict[str, Any]] = []
+        for cache in self.snapshot():
+            out.append(
+                {
+                    "name": cache.name,
+                    "capacity_bytes": cache.capacity_bytes,
+                    "used_bytes": cache.used_bytes,
+                    "objects": len(cache),
+                    "k": cache.k,
+                    "miss_ratio": cache.stats.miss_ratio,
+                    "instrumented": cache.instrumented,
+                }
+            )
+        return out
+
+    def partition_advice(
+        self,
+        budget: Optional[int] = None,
+        unit: Optional[int] = None,
+    ) -> PartitionResult:
+        """Fleet budget split minimizing total weighted misses.
+
+        Each instrumented cache becomes a
+        :class:`~repro.partition.optimizer.Tenant` whose curve is its
+        *self-reported* MRC and whose weight is its observed request
+        count; :func:`~repro.partition.optimizer.greedy_partition` splits
+        ``budget`` (default: the fleet's combined current capacity).
+        Units follow each cache's model: bytes with ``track_sizes=True``,
+        objects otherwise — a mixed fleet should model consistently.
+        """
+        caches = [c for c in self.snapshot() if c.instrumented]
+        if not caches:
+            raise ValueError("no instrumented caches registered")
+        tenants: List[Tenant] = []
+        for cache in caches:
+            curve = cache.byte_mrc() if cache.track_sizes else cache.mrc()
+            tenants.append(
+                Tenant(
+                    name=cache.name,
+                    curve=curve,
+                    request_rate=float(max(1, cache.stats.accesses)),
+                )
+            )
+        if budget is None:
+            budget = sum(c.capacity_bytes for c in caches)
+        if unit is None:
+            # The greedy optimizer hands out budget one unit at a time:
+            # ~256 grants keeps byte-scale budgets instant while staying
+            # finer than any realistic fleet imbalance.
+            unit = max(1, int(budget) // 256)
+        return greedy_partition(tenants, int(budget), unit=unit)
+
+
+#: The process-wide registry the service endpoints read by default.
+default_registry = CacheRegistry()

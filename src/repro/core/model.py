@@ -235,6 +235,90 @@ class KRRModel:
             if self._byte_hist is not None:
                 self._byte_hist.record(byte_dist)
 
+    def access_many(
+        self,
+        keys: "list[int] | np.ndarray",
+        sizes: Optional["list[int]"] = None,
+        engine: str = "scalar",
+    ) -> None:
+        """Stream a batch of requests, without snapshotting.
+
+        Draw-for-draw identical to calling :meth:`access` per request —
+        same sampling decisions, same RNG consumption, same histograms —
+        but batched: the spatial filter runs one vectorized hash pass and
+        the stack consumes one fused batch loop.  This is the incremental
+        sibling of :meth:`process` for callers that feed chunks of an
+        ongoing stream (the service ingest path, the cache's buffered
+        model feed).
+
+        ``engine`` follows the :meth:`process` contract (``"scalar"`` /
+        ``"soa"`` / ``"auto"``) and is sticky per model.  The default is
+        ``"scalar"`` — unlike :meth:`process` — because long-lived online
+        models need :meth:`state_dict`, which the SoA engine does not
+        support; callers that never snapshot (the cache) pass ``"auto"``.
+
+        ``keys`` may be a list of Python ints or a NumPy integer column
+        (a ``uint64`` column is reinterpreted mod 2^64, exactly as scalar
+        ``splitmix64`` wraps).
+        """
+        engine = self._resolve_engine(engine)
+        if self._auto_rate and self._sampler is None:
+            self._sampler = SpatialSampler(0.001)
+            self._obj_hist.scale = self._sampler.scale
+            if self._byte_hist is not None:
+                self._byte_hist.scale = self._sampler.scale
+        n = len(keys)
+        if n == 0:
+            return
+        self.stats.requests_seen += n
+        key_list: Optional[list] = None
+        if isinstance(keys, np.ndarray):
+            arr = (
+                keys.view(np.int64)
+                if keys.dtype == np.uint64
+                else np.asarray(keys, dtype=np.int64)
+            )
+        else:
+            key_list = list(keys)
+            try:
+                arr = np.asarray(key_list, dtype=np.int64)
+            except OverflowError:
+                # Keys outside int64 range (e.g. raw 64-bit hashes):
+                # wrap mod 2^64, exactly as scalar splitmix64 does.
+                arr = np.fromiter(
+                    (k & 0xFFFFFFFFFFFFFFFF for k in key_list),
+                    dtype=np.uint64,
+                    count=n,
+                ).view(np.int64)
+        if self._sampler is not None:
+            idx = self._sampler.filter_indices(arr)
+            if int(idx.shape[0]) != n:
+                arr = arr[idx]
+                picks = idx.tolist()
+                if key_list is not None:
+                    key_list = [key_list[i] for i in picks]
+                if sizes is not None:
+                    sizes = [sizes[i] for i in picks]
+                n = int(arr.shape[0])
+        self.stats.requests_sampled += n
+        if n == 0:
+            return
+        if engine == "soa":
+            size_col = (
+                np.ones(n, dtype=np.int64)
+                if sizes is None
+                else np.asarray(sizes, dtype=np.int64)
+            )
+            self._process_soa(arr, size_col, None, None)
+        else:
+            distances, byte_distances = self._stack.access_many(
+                key_list if key_list is not None else arr.tolist(), sizes
+            )
+            self._obj_hist.record_many(distances)
+            if self._byte_hist is not None:
+                self._byte_hist.record_many(byte_distances)
+            self.stats.cold_misses += distances.count(-1)
+
     def process(
         self,
         trace: Trace,

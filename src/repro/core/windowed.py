@@ -79,17 +79,38 @@ class WindowedKRRModel:
             self._since_rotation = 0
             self.rotations += 1
 
-    def access_many(self, keys: "list[int]", sizes: "Optional[list[int]]" = None) -> None:
-        """Stream a batch of requests (the service ingest path).
+    def access_many(
+        self,
+        keys: "list[int]",
+        sizes: "Optional[list[int]]" = None,
+        engine: str = "scalar",
+    ) -> None:
+        """Stream a batch of requests (the service and cache ingest path).
 
         Equivalent to calling :meth:`access` per request — same rotation
-        points, same draws — with the per-call attribute lookups hoisted.
+        points, same draws — but batched: the stream is split at the
+        rotation boundaries and each segment goes through the two
+        generations' :meth:`KRRModel.access_many` fused batch path.
+        ``engine`` is forwarded per the :meth:`KRRModel.access_many`
+        contract (``"scalar"`` default; snapshotting requires it).
         """
-        if sizes is None:
-            sizes = [1] * len(keys)
-        access = self.access
-        for key, size in zip(keys, sizes):
-            access(int(key), int(size))
+        n = len(keys)
+        start = 0
+        while start < n:
+            take = min(n - start, self._half - self._since_rotation)
+            stop = start + take
+            chunk_keys = keys[start:stop]
+            chunk_sizes = sizes[start:stop] if sizes is not None else None
+            self._current.access_many(chunk_keys, chunk_sizes, engine=engine)
+            self._warming.access_many(chunk_keys, chunk_sizes, engine=engine)
+            self.requests_seen += take
+            self._since_rotation += take
+            start = stop
+            if self._since_rotation >= self._half:
+                self._current = self._warming
+                self._warming = self._fresh()
+                self._since_rotation = 0
+                self.rotations += 1
 
     def process(self, trace: Trace) -> "WindowedKRRModel":
         keys = trace.keys
@@ -117,6 +138,10 @@ class WindowedKRRModel:
     def mrc(self, max_size: int | None = None) -> MissRatioCurve:
         """The rolling-window curve (half to one window of recent traffic)."""
         return self._current.mrc(max_size=max_size)
+
+    def byte_mrc(self) -> MissRatioCurve:
+        """Rolling byte-granularity curve (requires ``track_sizes=True``)."""
+        return self._current.byte_mrc()
 
     # ------------------------------------------------------------------
     STATE_KIND = "repro-windowed-krr-model"

@@ -32,9 +32,14 @@ __all__ = [
 ]
 
 
-def create_app(supervisor: Supervisor) -> Api:
-    """The WSGI application for an already-constructed supervisor."""
-    return Api(supervisor)
+def create_app(supervisor: Supervisor, cache_registry: Any = None) -> Api:
+    """The WSGI application for an already-constructed supervisor.
+
+    ``cache_registry`` (a :class:`~repro.cache.registry.CacheRegistry`)
+    backs the ``/caches`` introspection routes; the process-wide default
+    registry is used when omitted.
+    """
+    return Api(supervisor, cache_registry=cache_registry)
 
 
 class _ThreadingWSGIServer(ThreadingMixIn, WSGIServer):

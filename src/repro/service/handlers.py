@@ -11,6 +11,16 @@ supervisor; all transport (status codes, ``Retry-After``) lives here::
     DELETE /tenants/<id>                deregister (state kept on disk)
     POST   /tenants/<id>/ingest         {"keys": [...], "sizes": [...]?}
     GET    /tenants/<id>/mrc?max_size=N current curve (live or stale)
+    GET    /caches                      registered in-process caches
+    GET    /caches/partition?budget=N   fleet budget-split advice
+    GET    /caches/<name>               one cache's full introspection
+    GET    /caches/<name>/mrc?max_size=N  its self-reported curve
+
+The ``/caches`` routes expose the process-local
+:class:`~repro.cache.registry.CacheRegistry` — introspection for
+:class:`~repro.cache.lru.SamplingLRUCache` instances living *in the
+daemon's own process* (embedded apps, sidecars); they involve no worker
+round-trip.  ``partition`` is a reserved cache name.
 
 Error mapping: unknown tenant -> 404, full queue -> 429 + Retry-After,
 bad input -> 400, duplicate tenant -> 409.  A crashed worker is *not* an
@@ -21,11 +31,14 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Tuple
 from urllib.parse import parse_qs
 
 from .registry import TenantConfig
 from .supervisor import Backpressure, Supervisor, TenantUnavailable
+
+if TYPE_CHECKING:
+    from ..cache.registry import CacheRegistry
 
 __all__ = [
     "Api",
@@ -47,13 +60,28 @@ _STATUS = {
 _Response = Tuple[int, List[Tuple[str, str]], Dict[str, Any]]
 
 _TENANT_PATH = re.compile(r"^/tenants/([^/]+)(?:/([a-z_]+))?$")
+_CACHE_PATH = re.compile(r"^/caches/([^/]+)(?:/([a-z_]+))?$")
 
 
 class Api:
-    """WSGI application exposing one :class:`Supervisor`."""
+    """WSGI application exposing one :class:`Supervisor`.
 
-    def __init__(self, supervisor: Supervisor) -> None:
+    ``cache_registry`` (default: the process-wide
+    :data:`repro.cache.registry.default_registry`) backs the ``/caches``
+    introspection routes.
+    """
+
+    def __init__(
+        self,
+        supervisor: Supervisor,
+        cache_registry: "Optional[CacheRegistry]" = None,
+    ) -> None:
         self.supervisor = supervisor
+        if cache_registry is None:
+            from ..cache.registry import default_registry
+
+            cache_registry = default_registry
+        self.cache_registry = cache_registry
 
     # ------------------------------------------------------------------
     def __call__(
@@ -108,6 +136,22 @@ class Api:
             if action == "mrc" and method == "GET":
                 return self._mrc(tenant_id, environ.get("QUERY_STRING", ""))
             return 405, [], {"error": f"{method} {path} not supported"}
+        if path == "/caches":
+            if method == "GET":
+                return self._list_caches()
+            return 405, [], {"error": f"{method} not allowed on {path}"}
+        m = _CACHE_PATH.match(path)
+        if m:
+            cache_name, action = m.group(1), m.group(2)
+            if method != "GET":
+                return 405, [], {"error": f"{method} not allowed on {path}"}
+            if cache_name == "partition" and action is None:
+                return self._cache_partition(environ.get("QUERY_STRING", ""))
+            if action is None:
+                return self._cache_info(cache_name)
+            if action == "mrc":
+                return self._cache_mrc(cache_name, environ.get("QUERY_STRING", ""))
+            return 405, [], {"error": f"{method} {path} not supported"}
         return 404, [], {"error": f"no route for {path}"}
 
     # ------------------------------------------------------------------
@@ -154,6 +198,50 @@ class Api:
             max_size = int(params["max_size"][0])
         payload = self.supervisor.query(tenant_id, max_size=max_size)
         return 200, [], payload
+
+    # ------------------------------------------------------------------
+    # in-process SamplingLRUCache introspection
+    def _list_caches(self) -> _Response:
+        return 200, [], {"caches": self.cache_registry.summaries()}
+
+    def _cache(self, name: str) -> Any:
+        cache = self.cache_registry.get(name)
+        if cache is None:
+            raise TenantUnavailable(name)
+        return cache
+
+    def _cache_info(self, name: str) -> _Response:
+        return 200, [], self._cache(name).info()
+
+    def _cache_mrc(self, name: str, query_string: str) -> _Response:
+        cache = self._cache(name)
+        if not cache.instrumented:
+            raise ValueError(f"cache {name!r} runs uninstrumented (no model)")
+        params = parse_qs(query_string)
+        max_size: Optional[int] = None
+        if "max_size" in params:
+            max_size = int(params["max_size"][0])
+        curve = (
+            cache.byte_mrc() if cache.track_sizes else cache.mrc(max_size=max_size)
+        )
+        return 200, [], {
+            "cache": name,
+            "unit": curve.unit,
+            "sizes": [float(s) for s in curve.sizes],
+            "miss_ratios": [float(r) for r in curve.miss_ratios],
+        }
+
+    def _cache_partition(self, query_string: str) -> _Response:
+        params = parse_qs(query_string)
+        budget: Optional[int] = None
+        if "budget" in params:
+            budget = int(params["budget"][0])
+        result = self.cache_registry.partition_advice(budget=budget)
+        return 200, [], {
+            "budget": result.budget,
+            "allocations": result.allocations,
+            "total_miss_cost": result.total_miss_cost,
+        }
 
 
 def _read_json(environ: Dict[str, Any]) -> Dict[str, Any]:

@@ -9,6 +9,14 @@ in an array with a key→index map so sampling and swap-remove eviction are
 These simulators are the ground truth the KRR model is validated against
 (§5.3): run one per cache size and interpolate (see
 :mod:`repro.simulator.sweep`).
+
+Victim selection lives in :mod:`repro.cache.eviction` — the production
+:class:`~repro.cache.lru.SamplingLRUCache` runs the identical policy
+through the same :func:`~repro.cache.eviction.select_victim` core, so
+simulated and deployed eviction can never drift apart.  The inlined loop
+in :meth:`KLRUCache.access_many` is a hoisted copy of that core and must
+keep its PRNG contract (exactly K ``randrange`` draws per
+with-replacement eviction, one ``sample`` draw otherwise).
 """
 
 from __future__ import annotations
@@ -17,40 +25,15 @@ import random
 from typing import Sequence
 
 from .._util import RngLike, check_positive, check_sampling_size, ensure_rng
+from ..cache.eviction import NO_PROTECT as _NO_PROTECT
+from ..cache.eviction import ResidentSet as _ResidentSet
+from ..cache.eviction import select_victim
 from .base import CacheStats
 
 __all__ = [
     "ByteKLRUCache",
     "KLRUCache",
 ]
-
-
-
-class _ResidentSet:
-    """Array + index map: O(1) insert, remove, and uniform sampling."""
-
-    __slots__ = ("keys", "index")
-
-    def __init__(self) -> None:
-        self.keys: list[int] = []
-        self.index: dict[int, int] = {}
-
-    def __len__(self) -> int:
-        return len(self.keys)
-
-    def __contains__(self, key: int) -> bool:
-        return key in self.index
-
-    def add(self, key: int) -> None:
-        self.index[key] = len(self.keys)
-        self.keys.append(key)
-
-    def remove(self, key: int) -> None:
-        i = self.index.pop(key)
-        last = self.keys.pop()
-        if last != key:
-            self.keys[i] = last
-            self.index[last] = i
 
 
 class KLRUCache:
@@ -178,27 +161,16 @@ class KLRUCache:
         return out
 
     def _evict_one(self) -> None:
-        residents = self._residents.keys
-        n = len(residents)
-        last = self._last_access
-        rnd = self._rnd
-        if self.with_replacement:
-            victim = residents[rnd.randrange(n)]
-            vt = last[victim]
-            for _ in range(self.k - 1):
-                cand = residents[rnd.randrange(n)]
-                ct = last[cand]
-                if ct < vt:
-                    victim, vt = cand, ct
-        else:
-            kk = min(self.k, n)
-            victim = None
-            vt = None
-            for i in rnd.sample(range(n), kk):
-                cand = residents[i]
-                ct = last[cand]
-                if vt is None or ct < vt:
-                    victim, vt = cand, ct
+        # No ``protect`` needed here (unlike the byte variant): eviction
+        # runs *before* the missed key is inserted, so the key that
+        # triggered it can never be sampled as its own victim.
+        victim = select_victim(
+            self._residents.keys,
+            self._last_access,
+            self._rnd,
+            self.k,
+            self.with_replacement,
+        )
         self._residents.remove(victim)
         del self._last_access[victim]
         self.stats.evictions += 1
@@ -252,7 +224,10 @@ class ByteKLRUCache:
             if old != size:
                 self._used += size - old
                 self._sizes[key] = size
-                self._evict_until_fits()
+                # The key just hit: shield it while shrinking, exactly as
+                # on insert.  (If it alone outgrew the whole budget it is
+                # still dropped — hit counted, residency lost.)
+                self._evict_until_fits(protect=key)
             self.stats.hits += 1
             return True
         self.stats.misses += 1
@@ -275,40 +250,23 @@ class ByteKLRUCache:
         return [access(key, size) for key, size in zip(key_list, size_list)]
 
     def _evict_until_fits(self, protect: int | None = None) -> None:
-        while self._used > self.capacity_bytes and len(self._residents) > 1:
+        # The loop must be able to empty the cache: guarding on ``> 1``
+        # residents let a lone object resized past ``capacity_bytes``
+        # keep the cache over budget forever.  ``select_victim`` returns
+        # the protected key itself only when it is the last resident.
+        while self._used > self.capacity_bytes and len(self._residents) > 0:
             self._evict_one(protect)
 
     def _evict_one(self, protect: int | None = None) -> None:
-        residents = self._residents.keys
-        n = len(residents)
-        last = self._last_access
-        rnd = self._rnd
-        victim = None
-        vt = None
-        if self.with_replacement:
-            draws = self.k
-            for _ in range(draws):
-                cand = residents[rnd.randrange(n)]
-                if cand == protect and n > 1:
-                    continue
-                ct = last[cand]
-                if vt is None or ct < vt:
-                    victim, vt = cand, ct
-        else:
-            for i in rnd.sample(range(n), min(self.k, n)):
-                cand = residents[i]
-                if cand == protect and n > 1:
-                    continue
-                ct = last[cand]
-                if vt is None or ct < vt:
-                    victim, vt = cand, ct
-        if victim is None:
-            # All draws hit the protected key; fall back to any other resident.
-            for cand in residents:
-                if cand != protect:
-                    victim = cand
-                    break
-        if victim is None:  # pragma: no cover - single-resident cache
+        victim = select_victim(
+            self._residents.keys,
+            self._last_access,
+            self._rnd,
+            self.k,
+            self.with_replacement,
+            protect=protect if protect is not None else _NO_PROTECT,
+        )
+        if victim is None:  # pragma: no cover - empty resident set
             return
         self._residents.remove(victim)
         del self._last_access[victim]

@@ -112,3 +112,50 @@ class TestRetuning:
         preds = cache.predicted_miss_ratios()
         assert set(preds) == set(cache.candidates)
         assert all(0 <= v <= 1 for v in preds.values())
+
+
+class TestColdCandidateRetuning:
+    """Regression: _retune used to early-return when ANY candidate was
+    cold, so one starved model (large K at a low spatial rate) blocked
+    retuning forever.  Decisions now run over the warm subset and record
+    the cold candidates in RetuneEvent.skipped."""
+
+    def test_cold_candidate_does_not_block_retune(self):
+        cache = AdaptiveKLRUCache(
+            100, candidates=(2, 8), retune_interval=2_000,
+            sampling_rate=1.0, rng=20,
+        )
+        trace = _zipf_trace(n_requests=10_000, seed=21)
+        for key in trace.keys:
+            cache.access(int(key))
+            # keep candidate 8 permanently cold
+            cache._models[8].stats.requests_sampled = 0
+        assert cache.events, "warm-subset retunes must still happen"
+        for event in cache.events:
+            assert event.skipped == (8,)
+            assert set(event.predicted) == {2}
+            assert event.chosen_k == 2
+
+    def test_all_cold_keeps_current_k(self):
+        from repro.adaptive.dlru import choose_best_k
+
+        cache = AdaptiveKLRUCache(
+            100, candidates=(2, 8), retune_interval=100,
+            sampling_rate=1.0, initial_k=8, rng=22,
+        )
+        best, predicted, skipped = choose_best_k(cache._models, cache.capacity)
+        assert best is None
+        assert predicted == {}
+        assert skipped == (2, 8)
+        assert cache.k == 8
+
+    def test_warm_retune_has_no_skips(self):
+        cache = AdaptiveKLRUCache(
+            100, candidates=(1, 4), retune_interval=3_000,
+            sampling_rate=1.0, rng=23,
+        )
+        for key in _zipf_trace(n_requests=9_000, seed=24).keys:
+            cache.access(int(key))
+        assert cache.events
+        assert all(e.skipped == () for e in cache.events)
+        assert all(set(e.predicted) == {1, 4} for e in cache.events)

@@ -1,0 +1,149 @@
+"""Hypothesis property tests for the K-sampling caches.
+
+Three invariant families the unit suites only spot-check:
+
+* ``SamplingLRUCache`` never exceeds its byte budget, for *any*
+  access sequence;
+* ``access`` and ``access_many`` are the same machine — identical
+  hit/miss flags, identical stats, identical final residency, and an
+  identical PRNG state (the draw-for-draw contract documented in
+  :mod:`repro.cache.eviction`);
+* eviction counters are conserved: every insertion is accounted for by
+  residency, eviction, or rejection.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import ensure_rng
+from repro.cache import SamplingLRUCache
+from repro.simulator.klru import ByteKLRUCache, KLRUCache
+
+# Small key spaces force heavy collision/eviction churn.
+keys_st = st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200)
+sizes_st = st.integers(min_value=1, max_value=400)
+
+
+def _seeded(cls, *args, seed, **kwargs):
+    return cls(*args, rng=int(ensure_rng(seed).integers(0, 2**32)), **kwargs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(1, 400)),
+        min_size=1,
+        max_size=200,
+    ),
+    capacity=st.integers(min_value=1, max_value=1000),
+    k=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+def test_sampling_lru_never_over_budget(ops, capacity, k, seed):
+    cache = SamplingLRUCache(capacity, k=k, seed=seed, model_rate=0.5)
+    for key, size in ops:
+        cache.put(key, None, size=size)
+        assert cache.used_bytes <= cache.capacity_bytes
+        assert cache.used_bytes >= 0
+    # internal accounting agrees with a fresh recount
+    assert cache.used_bytes == sum(cache._sizes.values())
+    assert len(cache) == len(cache._residents)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(1, 400)),
+        min_size=1,
+        max_size=200,
+    ),
+    capacity=st.integers(min_value=1, max_value=1000),
+    k=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+def test_sampling_lru_eviction_conservation(ops, capacity, k, seed):
+    cache = SamplingLRUCache(capacity, k=k, seed=seed, model_rate=0.5)
+    inserts = 0
+    for key, size in ops:
+        if key not in cache:
+            inserts += 1
+        cache.put(key, None, size=size)
+    assert inserts == len(cache) + cache.stats.evictions + cache.rejected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys=keys_st,
+    capacity=st.integers(min_value=1, max_value=20),
+    k=st.integers(min_value=1, max_value=8),
+    with_replacement=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+def test_klru_access_many_identity(keys, capacity, k, with_replacement, seed):
+    if not with_replacement:
+        k = min(k, capacity)
+    one = _seeded(KLRUCache, capacity, k=k,
+                  with_replacement=with_replacement, seed=seed)
+    many = _seeded(KLRUCache, capacity, k=k,
+                   with_replacement=with_replacement, seed=seed)
+    flags_one = [one.access(key) for key in keys]
+    flags_many = many.access_many(keys)
+    assert flags_one == flags_many
+    assert (one.stats.hits, one.stats.misses, one.stats.evictions) == (
+        many.stats.hits, many.stats.misses, many.stats.evictions)
+    assert sorted(one._residents.keys) == sorted(many._residents.keys)
+    assert one._rnd.getstate() == many._rnd.getstate()
+    # conservation: misses insert, each insert resides or was evicted
+    assert one.stats.misses == len(one._residents) + one.stats.evictions
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(1, 400)),
+        min_size=1,
+        max_size=200,
+    ),
+    capacity=st.integers(min_value=1, max_value=1000),
+    k=st.integers(min_value=1, max_value=8),
+    with_replacement=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+def test_byte_klru_access_many_identity(ops, capacity, k, with_replacement, seed):
+    one = _seeded(ByteKLRUCache, capacity, k=k,
+                  with_replacement=with_replacement, seed=seed)
+    many = _seeded(ByteKLRUCache, capacity, k=k,
+                   with_replacement=with_replacement, seed=seed)
+    keys = [key for key, _ in ops]
+    sizes = [size for _, size in ops]
+    flags_one = [one.access(key, size) for key, size in ops]
+    flags_many = many.access_many(keys, sizes)
+    assert flags_one == flags_many
+    assert (one.stats.hits, one.stats.misses, one.stats.evictions) == (
+        many.stats.hits, many.stats.misses, many.stats.evictions)
+    assert sorted(one._residents.keys) == sorted(many._residents.keys)
+    assert one.used_bytes == many.used_bytes
+    assert one._rnd.getstate() == many._rnd.getstate()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(1, 400)),
+        min_size=1,
+        max_size=200,
+    ),
+    capacity=st.integers(min_value=1, max_value=1000),
+    k=st.integers(min_value=1, max_value=8),
+    with_replacement=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+def test_byte_klru_never_over_budget(ops, capacity, k, with_replacement, seed):
+    cache = _seeded(ByteKLRUCache, capacity, k=k,
+                    with_replacement=with_replacement, seed=seed)
+    for key, size in ops:
+        cache.access(key, size)
+        # the headline bug let a lone resident resized past capacity stay
+        # over budget forever — the invariant must now hold unconditionally
+        assert cache.used_bytes <= cache.capacity_bytes
+    assert cache.used_bytes == sum(cache._sizes.values())

@@ -59,6 +59,67 @@ class TestStreamingVsBatch:
         assert m.stats.stack_updates == 3000
         assert m.stats.mean_swaps_per_update >= 1
 
+    def test_access_many_equals_access_bit_for_bit(self):
+        # The incremental batch path must be draw-for-draw identical to
+        # per-request streaming, including the RNG cursor and counters.
+        trace = _zipf_trace(150, 2500)
+        keys = [int(k) for k in trace.keys]
+        a = KRRModel(k=4, sampling_rate=0.5, seed=7)
+        for key in keys:
+            a.access(key)
+        b = KRRModel(k=4, sampling_rate=0.5, seed=7)
+        for start in range(0, len(keys), 700):  # uneven chunks on purpose
+            b.access_many(keys[start:start + 700])
+        assert a.state_dict() == b.state_dict()
+        assert (a.stats.requests_seen, a.stats.requests_sampled,
+                a.stats.cold_misses) == (
+            b.stats.requests_seen, b.stats.requests_sampled,
+            b.stats.cold_misses)
+
+    def test_access_many_uint64_keys(self):
+        # Raw 64-bit hash ids (>= 2^63) must take the wrap-around path
+        # and agree with scalar access.
+        keys = [(0x9E3779B97F4A7C15 * (i % 40)) & (2**64 - 1)
+                for i in range(800)]
+        a = KRRModel(k=3, sampling_rate=0.5, seed=9)
+        for key in keys:
+            a.access(key)
+        b = KRRModel(k=3, sampling_rate=0.5, seed=9)
+        b.access_many(keys)
+        assert a.state_dict() == b.state_dict()
+
+    def test_access_many_soa_engine_matches_scalar(self):
+        # engine="auto" may route through the SoA stack; the curves and
+        # counters must match the scalar engine draw for draw.
+        trace = _zipf_trace(150, 2500)
+        keys = [int(k) for k in trace.keys]
+        a = KRRModel(k=4, sampling_rate=0.5, seed=13)
+        for key in keys:
+            a.access(key)
+        b = KRRModel(k=4, sampling_rate=0.5, seed=13)
+        b.access_many(np.asarray(keys, dtype=np.int64), engine="auto")
+        np.testing.assert_array_equal(a.mrc().miss_ratios, b.mrc().miss_ratios)
+        assert (a.stats.requests_seen, a.stats.requests_sampled,
+                a.stats.cold_misses) == (
+            b.stats.requests_seen, b.stats.requests_sampled,
+            b.stats.cold_misses)
+
+    def test_windowed_access_many_equals_access(self):
+        from repro.core.windowed import WindowedKRRModel
+
+        trace = _zipf_trace(150, 4000)
+        keys = [int(k) for k in trace.keys]
+        # window small enough that the batch spans several rotations
+        a = WindowedKRRModel(k=3, window=900, seed=11)
+        for key in keys:
+            a.access(key)
+        b = WindowedKRRModel(k=3, window=900, seed=11)
+        for start in range(0, len(keys), 1100):
+            b.access_many(keys[start:start + 1100])
+        assert a.rotations == b.rotations
+        assert a.counters() == b.counters()
+        assert a.state_dict() == b.state_dict()
+
     def test_sampling_reduces_sampled_count(self):
         trace = _zipf_trace(2000, 10_000)
         m = KRRModel(k=2, sampling_rate=0.2, seed=3)
