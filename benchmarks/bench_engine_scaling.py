@@ -152,8 +152,12 @@ def bench_sweep(trace, seed=3):
     serial = sweep.run(trace, max_workers=1)
     serial_s = time.perf_counter() - t0
 
+    # Oversubscribing a small box (e.g. a 1-CPU CI runner) just measures
+    # scheduler thrash, so cap the fan-out at the actual core count and
+    # record what was effectively used alongside the request.
+    workers = min(SWEEP_WORKERS, os.cpu_count() or 1)
     t0 = time.perf_counter()
-    parallel = sweep.run(trace, max_workers=SWEEP_WORKERS)
+    parallel = sweep.run(trace, max_workers=workers)
     parallel_s = time.perf_counter() - t0
 
     identical = all(
@@ -163,7 +167,8 @@ def bench_sweep(trace, seed=3):
     )
     return {
         "n_configs": len(sweep),
-        "workers": SWEEP_WORKERS,
+        "workers_requested": SWEEP_WORKERS,
+        "workers": workers,
         "serial_s": round(serial_s, 4),
         "parallel_s": round(parallel_s, 4),
         "speedup": round(serial_s / parallel_s, 3),

@@ -13,7 +13,7 @@ Two refinements from the paper are included:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 import numpy as np
 
@@ -75,7 +75,11 @@ class Shards:
             return
         self._force_access(key, size)
 
-    def process(self, trace: Trace, plan: Optional["TracePlan"] = None) -> "Shards":
+    def process(
+        self,
+        trace: "Trace | Iterable[Trace]",
+        plan: Optional["TracePlan"] = None,
+    ) -> "Shards":
         """Feed a whole trace; batch-kernel fast path on a fresh instance.
 
         The spatial filter is applied to the key column in one vectorized
@@ -86,7 +90,23 @@ class Shards:
         streaming stack state is rebuilt so subsequent :meth:`access`
         calls continue exactly where the per-access path would have.  An
         estimator that already holds stack state falls back to streaming.
+
+        ``trace`` also accepts a bounded-memory stream of chunks
+        (:class:`~repro.workloads.stream.TraceStream`): the first chunk
+        takes the batch-kernel path, the stack-rebuild makes each later
+        chunk a plain streaming continuation, and SHARDS is RNG-free, so
+        the result is identical to the concatenated in-memory run.
+        ``plan`` (whole-trace hash cache) cannot be combined with one.
         """
+        if not isinstance(trace, Trace):
+            if plan is not None:
+                raise ValueError(
+                    "plan caches whole-trace hash columns; streamed chunks "
+                    "hash per chunk instead"
+                )
+            for chunk in trace:
+                self.process(chunk)
+            return self
         keys = trace.keys
         sizes = trace.sizes
         if plan is not None:
@@ -262,7 +282,11 @@ class FixedSizeShards:
         dist, _ = self._stack.access(key, size)
         self._raw.append((dist if dist > 0 else 0, self._sampler.rate))
 
-    def process(self, trace: Trace, plan: Optional["TracePlan"] = None) -> "FixedSizeShards":
+    def process(
+        self,
+        trace: "Trace | Iterable[Trace]",
+        plan: Optional["TracePlan"] = None,
+    ) -> "FixedSizeShards":
         """Feed a whole trace, hashing the key column in one batch pass.
 
         The adaptive threshold makes the sampling decision inherently
@@ -270,7 +294,20 @@ class FixedSizeShards:
         vectorized up front (or reused from ``plan``'s hash column) and
         streamed into :meth:`FixedSizeSpatialSampler.offer_hashed`, leaving
         only the threshold compare and stack update in the Python loop.
+
+        Accepts a stream of chunks like :meth:`Shards.process`; the
+        sampler's adaptive threshold and the stack persist across chunks,
+        so streamed and in-memory runs are identical.
         """
+        if not isinstance(trace, Trace):
+            if plan is not None:
+                raise ValueError(
+                    "plan caches whole-trace hash columns; streamed chunks "
+                    "hash per chunk instead"
+                )
+            for chunk in trace:
+                self.process(chunk)
+            return self
         if plan is not None:
             hashed_arr = plan.hashes(self._sampler.seed)
         else:

@@ -8,6 +8,8 @@ Usage (also via ``python -m repro``):
     repro sweep trace.csv --ks 1,5,10 --rates none,0.01 --workers 4 -o grid.csv
     repro sweep trace.csv --ks 1,5 --checkpoint sweep.ckpt --task-timeout 600 \
         --retries 3 --report run_report.json -o grid.csv
+    repro fleet t0.csv.gz t1.npz t2.chunks --ks 1,5 --rates none,0.01 \
+        --checkpoint-dir fleet.ckpt --report fleet.json -o grids.csv
     repro simulate trace.csv --policy lru --k 5 --points 10
     repro compare trace.csv --k 5 --points 8
     repro classify trace.csv
@@ -25,9 +27,11 @@ import numpy as np
 
 
 def _load_trace(path: str):
-    from .workloads import io
+    from .workloads import io, stream
 
     p = Path(path)
+    if stream.is_chunked_dir(p):
+        return stream.ChunkedTraceReader(p).read_all()
     if p.suffix == ".npz":
         return io.load_npz(p)
     return io.load_csv(p)
@@ -209,6 +213,79 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from .engine import FleetSweep
+
+    ks = [int(t) for t in args.ks.split(",") if t.strip()]
+    strategies = [t.strip() for t in args.strategies.split(",") if t.strip()]
+    fleet = FleetSweep.grid(
+        ks,
+        strategies=strategies,
+        sampling_rates=_parse_rates(args.rates),
+        correction=not args.no_correction,
+        seed=args.seed,
+    )
+    results, report = fleet.run(
+        args.traces,
+        checkpoint_dir=args.checkpoint_dir,
+        max_workers=args.workers,
+        max_size=args.max_size,
+        chunk_size=args.chunk_size,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        errors=args.errors,
+    )
+    print(
+        f"# {len(args.traces)} traces x {len(fleet)} configs "
+        f"(workers={args.workers or 'auto'}, seed={args.seed}, "
+        f"chunk={args.chunk_size})",
+        file=sys.stderr,
+    )
+    print(
+        f"# run: mode={report.mode} attempts={report.attempts} "
+        f"retries={report.retries} timeouts={report.timeouts} "
+        f"rebuilds={report.pool_rebuilds} "
+        f"degraded={report.degraded_to_serial} "
+        f"resumed-traces={report.from_checkpoint} "
+        f"wall={report.wall_time:.2f}s",
+        file=sys.stderr,
+    )
+    for r in results:
+        print(
+            f"# trace {r.index}: {Path(str(args.traces[r.index])).name} "
+            f"resumed={r.resumed_cells}/{len(fleet)} cells "
+            f"requests={r.results[0].requests_seen if r.results else 0}",
+            file=sys.stderr,
+        )
+    if args.report:
+        payload = fleet.fleet_report(results, report)
+        Path(args.report).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote fleet report to {args.report}", file=sys.stderr)
+    lines = ["trace,k,strategy,rate,size,miss_ratio"]
+    for r in results:
+        label = Path(str(args.traces[r.index])).name
+        for c in r.results:
+            rate = (
+                ""
+                if c.config.sampling_rate is None
+                else f"{c.config.sampling_rate:g}"
+            )
+            lines += [
+                f"{label},{c.config.k},{c.config.strategy},{rate},"
+                f"{s:.0f},{m:.6f}"
+                for s, m in zip(c.sizes, c.miss_ratios)
+            ]
+    text = "\n".join(lines)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {len(lines) - 1} rows to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from .policies.mrc import sampled_policy_mrc
 
@@ -361,6 +438,57 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("-o", "--output", default=None,
                     help="long-format CSV (k,strategy,rate,size,miss_ratio)")
     sw.set_defaults(func=cmd_sweep)
+
+    fl = sub.add_parser(
+        "fleet",
+        help="config grid over many traces, streamed out-of-core "
+             "(resumable at trace and cell level)",
+    )
+    fl.add_argument("traces", nargs="+",
+                    help="trace sources: .csv, .csv.gz, .npz or a "
+                         "save_chunked directory; each is streamed inside "
+                         "its worker, never fully materialized")
+    fl.add_argument("--ks", default="5", help="comma-separated K values")
+    fl.add_argument("--strategies", default="backward",
+                    help="comma-separated update strategies")
+    fl.add_argument("--rates", default="none",
+                    help="comma-separated spatial rates ('none' = unsampled)")
+    fl.add_argument("--no-correction", action="store_true",
+                    help="disable the K'=K^1.4 correction")
+    fl.add_argument("--seed", type=int, default=0,
+                    help="fleet seed (per-trace grid seeds and per-cell "
+                         "model seeds derive from it by position)")
+    fl.add_argument("--workers", type=int, default=None,
+                    help="process count (default: min(traces, cpus))")
+    fl.add_argument("--max-size", type=int, default=None,
+                    help="cap the MRC size axis")
+    fl.add_argument("--chunk-size", type=int, default=1 << 20,
+                    metavar="ROWS",
+                    help="streaming chunk rows per worker (bounds worker "
+                         "memory; results are identical for any value; "
+                         "default: 1Mi)")
+    fl.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                    help="hierarchical checkpoints: a fleet manifest plus "
+                         "one JSONL per trace; rerunning with the same "
+                         "directory resumes finished traces and, within a "
+                         "partially-finished trace, finished grid cells")
+    fl.add_argument("--task-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="kill and retry any trace running longer than this")
+    fl.add_argument("--retries", type=int, default=2,
+                    help="retry budget per trace for transient worker "
+                         "failures and timeouts (default: 2)")
+    fl.add_argument("--errors", default="strict",
+                    choices=("strict", "skip"),
+                    help="malformed-CSV-row handling inside the stream "
+                         "readers (default: strict)")
+    fl.add_argument("--report", default=None, metavar="PATH",
+                    help="write the consolidated fleet report (run stats "
+                         "plus per-trace resume counters) as JSON")
+    fl.add_argument("-o", "--output", default=None,
+                    help="long-format CSV "
+                         "(trace,k,strategy,rate,size,miss_ratio)")
+    fl.set_defaults(func=cmd_fleet)
 
     s = sub.add_parser("simulate", help="ground-truth sweep for any policy")
     s.add_argument("trace")

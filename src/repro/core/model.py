@@ -25,7 +25,7 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 import numpy as np
 
@@ -321,9 +321,10 @@ class KRRModel:
 
     def process(
         self,
-        trace: Trace,
+        trace: Optional[Trace] = None,
         plan: Optional["TracePlan"] = None,
         engine: str = "auto",
+        stream: Optional["Iterable[Trace]"] = None,
     ) -> "KRRResult":
         """Feed a whole trace through the batched hot path and snapshot.
 
@@ -361,7 +362,31 @@ class KRRModel:
         one plan across every grid cell and worker), and on the SoA
         engine its cached factorization also replaces the stack's key
         interning.  The selected indices are identical either way.
+
+        ``stream`` accepts a bounded-memory
+        :class:`~repro.workloads.stream.TraceStream` (any iterable of
+        trace chunks) instead of ``trace``: each chunk runs through the
+        same batched hot path via :meth:`access_many`.  Because the
+        spatial filter is stateless per key and both engines buffer
+        their draws across calls, a streamed run is **bit-identical** to
+        processing the concatenated trace in one shot, for any chunk
+        size (property-tested in ``tests/test_stream.py``).  A stream
+        has no whole-trace unique-object count, so
+        ``sampling_rate="auto"`` is refused — pass an explicit rate; and
+        ``plan`` (a whole-trace column cache) cannot be combined with a
+        stream.
         """
+        if stream is not None:
+            if trace is not None:
+                raise ValueError("pass either trace= or stream=, not both")
+            if plan is not None:
+                raise ValueError(
+                    "plan caches whole-trace columns; streamed chunks "
+                    "compute their columns per chunk instead"
+                )
+            return self._process_stream(stream, engine)
+        if trace is None:
+            raise ValueError("process() needs a trace or a stream")
         engine = self._resolve_engine(engine)
         if self._auto_rate and self._sampler is None:
             self._resolve_auto_sampler(trace)
@@ -391,6 +416,19 @@ class KRRModel:
             if self._byte_hist is not None:
                 self._byte_hist.record_many(byte_distances)
             self.stats.cold_misses += distances.count(-1)
+        self._sync_stats()
+        return self.result()
+
+    def _process_stream(self, stream: "Iterable[Trace]", engine: str) -> "KRRResult":
+        """Streamed half of :meth:`process`: one hot-path pass per chunk."""
+        engine = self._resolve_engine(engine)
+        if self._auto_rate and self._sampler is None:
+            raise ValueError(
+                "sampling_rate='auto' needs the whole trace's unique-object "
+                "count up front; pass an explicit rate when streaming"
+            )
+        for chunk in stream:
+            self.access_many(chunk.keys, chunk.sizes.tolist(), engine=engine)
         self._sync_stats()
         return self.result()
 

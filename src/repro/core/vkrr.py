@@ -153,7 +153,12 @@ class MultiKRR:
     >>> results = grid.run(trace)  # doctest: +SKIP
     """
 
-    def __init__(self, configs: Sequence[object], seed: int = 0) -> None:
+    def __init__(
+        self,
+        configs: Sequence[object],
+        seed: int = 0,
+        seeds: Optional[Sequence[int]] = None,
+    ) -> None:
         self.configs: List[object] = list(configs)
         if not self.configs:
             raise ValueError("need at least one grid configuration")
@@ -171,6 +176,19 @@ class MultiKRR:
                 )
             check_sampling_size(int(cfg.k))  # type: ignore[attr-defined]
         self.seed = int(seed)
+        # Explicit per-cell seeds override the positional spawn — this is
+        # how a resumed fleet runs only the *missing* subset of a grid
+        # with each cell still drawing its original position's stream.
+        self._seeds_override: Optional[List[int]] = (
+            [int(s) for s in seeds] if seeds is not None else None
+        )
+        if self._seeds_override is not None and len(self._seeds_override) != len(
+            self.configs
+        ):
+            raise ValueError(
+                f"seeds has {len(self._seeds_override)} entries for "
+                f"{len(self.configs)} configs"
+            )
 
     @classmethod
     def grid(
@@ -192,17 +210,21 @@ class MultiKRR:
         return len(self.configs)
 
     def config_seeds(self) -> List[int]:
-        """Per-cell seeds (``spawn_seeds`` of the grid seed, by position)."""
+        """Per-cell seeds (``spawn_seeds`` of the grid seed, by position,
+        unless explicit ``seeds`` were passed at construction)."""
+        if self._seeds_override is not None:
+            return list(self._seeds_override)
         return spawn_seeds(len(self.configs), self.seed)
 
     # ------------------------------------------------------------------
     def run(
         self,
-        trace: Trace,
+        trace: Optional[Trace] = None,
         plan: Optional["TracePlan"] = None,
         max_size: Optional[int] = None,
         chunk_size: int = DEFAULT_CHUNK,
         use_native: Optional[bool] = None,
+        stream: Optional[Iterable[Trace]] = None,
     ) -> List[GridResult]:
         """Evaluate every cell in one streaming pass; ordered like ``configs``.
 
@@ -211,7 +233,31 @@ class MultiKRR:
         columns are computed here, once for the whole grid.  ``use_native``
         is forwarded to the SoA stacks.  ``chunk_size`` trades memory
         locality only — results are bit-identical for any value.
+
+        ``stream`` accepts a bounded-memory
+        :class:`~repro.workloads.stream.TraceStream` instead of ``trace``:
+        keys are interned incrementally (first-seen dense ids via
+        :class:`~repro.engine.plan.StreamingTracePlan`), hash columns and
+        masks are computed per chunk and shared across cells, and each
+        cell's stack grows on demand.  Ids are opaque labels to the
+        update walk, so every cell's distances, histogram and counters
+        are **bit-identical** to the in-memory ``run(trace)`` over the
+        concatenated stream, for any chunking (property-tested in
+        ``tests/test_stream.py``).  The source chunking wins, so
+        ``chunk_size`` is ignored; ``plan`` cannot be combined with a
+        stream.
         """
+        if stream is not None:
+            if trace is not None:
+                raise ValueError("pass either trace= or stream=, not both")
+            if plan is not None:
+                raise ValueError(
+                    "plan caches whole-trace columns; streams intern and "
+                    "hash per chunk instead"
+                )
+            return self._run_stream(stream, max_size, use_native)
+        if trace is None:
+            raise ValueError("run() needs a trace or a stream")
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         keys = trace.keys
@@ -283,6 +329,70 @@ class MultiKRR:
                 cell.sampled += int(sub.shape[0])
                 cell.cold += int(np.count_nonzero(distances == -1))
 
+        return self._collect_results(cells, n, max_size)
+
+    def _run_stream(
+        self,
+        stream: Iterable[Trace],
+        max_size: Optional[int],
+        use_native: Optional[bool],
+    ) -> List[GridResult]:
+        """Out-of-core half of :meth:`run`: per-chunk interning and masks."""
+        from ..engine.plan import StreamingTracePlan
+
+        splan = StreamingTracePlan()
+        seeds = self.config_seeds()
+        cells: List[_Cell] = []
+        for c, cfg in enumerate(self.configs):
+            rate = getattr(cfg, "sampling_rate", None)
+            mask_key: Optional[Tuple[int, int, int]] = None
+            scale = 1.0
+            if rate is not None:
+                sampler = SpatialSampler(float(rate))
+                scale = sampler.scale
+                mask_key = (sampler.seed, sampler.modulus, sampler.threshold)
+            effective_k = (
+                corrected_k(int(cfg.k), DEFAULT_EXPONENT)  # type: ignore[attr-defined]
+                if getattr(cfg, "correction", True)
+                else float(int(cfg.k))  # type: ignore[attr-defined]
+            )
+            # Growable stacks: a stream's distinct-key count is unknown up
+            # front, so the fixed grid-wide 2-D state block does not apply.
+            stack = SoAKRRStack(
+                effective_k,
+                strategy=getattr(cfg, "strategy", "backward"),
+                rng=seeds[c],
+                use_native=use_native,
+            )
+            cells.append(
+                _Cell(cfg, seeds[c], stack, DistanceHistogram(scale=scale), mask_key)
+            )
+
+        for chunk in stream:
+            splan.observe(chunk)
+            kids = splan.intern(chunk.keys)
+            masks: Dict[Tuple[int, int, int], np.ndarray] = {}
+            for cell in cells:
+                if cell.mask_key is not None:
+                    mask = masks.get(cell.mask_key)
+                    if mask is None:
+                        mseed, modulus, threshold = cell.mask_key
+                        mask = splan.chunk_sample_mask(
+                            chunk.keys, threshold, modulus, mseed
+                        )
+                        masks[cell.mask_key] = mask
+                    sub = kids[mask]
+                else:
+                    sub = kids
+                distances = cell.stack.access_many_interned(sub)
+                cell.hist.record_many(distances)
+                cell.sampled += int(sub.shape[0])
+                cell.cold += int(np.count_nonzero(distances == -1))
+        return self._collect_results(cells, splan.n_requests, max_size)
+
+    def _collect_results(
+        self, cells: List[_Cell], n: int, max_size: Optional[int]
+    ) -> List[GridResult]:
         results: List[GridResult] = []
         for cell in cells:
             curve = from_distance_histogram(

@@ -21,6 +21,11 @@ Five pieces:
   in one call, with per-configuration seeds derived up front so results
   are bit-identical regardless of worker count *or* recovery path, plus
   JSONL checkpoint/resume via :class:`SweepCheckpoint`.
+* :mod:`repro.engine.fleet` — :class:`FleetSweep`: the transpose of
+  :class:`ModelSweep` at scale — many traces × one config grid, each
+  trace streamed out-of-core inside its worker, with hierarchical
+  (fleet-manifest + per-trace JSONL) checkpoints resumable at both the
+  trace and grid-cell level.
 * :mod:`repro.engine.faults` — deterministic fault injection
   (``REPRO_FAULTS``) used by the tests to prove every recovery path.
 
@@ -30,7 +35,8 @@ runs on the same shared-memory store and resilient runner.
 
 from .checkpoint import CheckpointMismatch, SweepCheckpoint
 from .faults import FaultPlan, maybe_inject
-from .plan import TracePlan, clear_plan_cache, trace_fingerprint
+from .fleet import FleetSweep, FleetTraceResult, fleet_sweep
+from .plan import StreamingTracePlan, TracePlan, clear_plan_cache, trace_fingerprint
 from .runner import (
     ResilientRunner,
     RunReport,
@@ -51,11 +57,14 @@ __all__ = [
     "AttachedTrace",
     "CheckpointMismatch",
     "FaultPlan",
+    "FleetSweep",
+    "FleetTraceResult",
     "ModelSweep",
     "ResilientRunner",
     "RunReport",
     "SharedTraceStore",
     "SweepCheckpoint",
+    "StreamingTracePlan",
     "SweepConfig",
     "SweepResult",
     "TaskFailedError",
@@ -64,6 +73,7 @@ __all__ = [
     "TraceSpec",
     "TransientTaskError",
     "clear_plan_cache",
+    "fleet_sweep",
     "maybe_inject",
     "model_sweep",
     "on_sigterm",

@@ -1,0 +1,479 @@
+"""FleetSweep: (trace × config-grid) scheduling at fleet scale.
+
+:class:`~repro.engine.sweep.ModelSweep` parallelizes one trace across a
+config grid; a capacity-planning fleet asks the transpose at scale:
+*hundreds of traces*, each against the same grid, with any trace too big
+to materialize.  :class:`FleetSweep` schedules one resilient task per
+trace — each worker opens its trace as a bounded-memory
+:class:`~repro.workloads.stream.TraceStream` and evaluates the whole
+grid in at most two streaming passes:
+
+* SoA-capable cells (``backward``/``linear``, object granularity) run as
+  one streamed :class:`~repro.core.vkrr.MultiKRR` pass — every cell
+  consumes each chunk while it is hot, sharing the incremental interner
+  and per-chunk hash columns;
+* the remaining scalar cells (``topdown``, ``track_sizes``) share a
+  second pass, every model fed chunk by chunk.
+
+**Hierarchical checkpoints.**  Under ``checkpoint_dir`` the fleet writes
+a ``fleet.json`` manifest (validated on resume: seed, grid, trace list)
+plus one per-trace :class:`~repro.engine.checkpoint.SweepCheckpoint`
+JSONL file.  Resume works at both levels: traces whose checkpoint holds
+every grid row are skipped in the parent without spawning a worker, and
+a partially-finished trace re-runs only its missing cells — with
+position-correct seeds via ``MultiKRR(seeds=...)``, so the resumed grid
+is bit-identical to an uninterrupted run.
+
+**Determinism.**  Per-trace grid seeds spawn from the fleet seed by
+trace position, and per-cell seeds spawn from the trace's grid seed by
+cell position — the same :func:`~repro.core.vkrr.spawn_seeds` derivation
+the rest of the engine uses.  Worker count, scheduling order, chunk size
+and crash/resume cannot change any result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from itertools import product
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.model import KRRModel
+from ..core.vkrr import MultiKRR, spawn_seeds
+from ..stack.soa import SOA_STRATEGIES
+from ..workloads.stream import DEFAULT_CHUNK, open_trace_stream
+from ..workloads.trace import Trace
+from .checkpoint import CheckpointMismatch, Row, SweepCheckpoint, _fsync_dir
+from .faults import maybe_inject
+from .runner import ResilientRunner, RunReport, resolve_workers
+from .sweep import SweepConfig, SweepResult
+
+__all__ = [
+    "FleetSweep",
+    "FleetTraceResult",
+    "fleet_sweep",
+]
+
+
+MANIFEST_NAME = "fleet.json"
+_MANIFEST_KIND = "repro-fleet-manifest"
+_MANIFEST_VERSION = 1
+
+#: One fleet worker payload: everything a trace task needs, picklable.
+_Payload = Tuple[
+    int,  # trace index
+    object,  # source (path string or Trace)
+    Tuple[SweepConfig, ...],
+    int,  # per-trace grid seed
+    Optional[int],  # max_size
+    int,  # chunk_size
+    Optional[str],  # per-trace checkpoint path
+    Optional[dict],  # per-trace checkpoint signature
+    str,  # CSV errors mode
+]
+
+
+@dataclass
+class FleetTraceResult:
+    """One trace's finished grid: ordered like the fleet's ``configs``."""
+
+    index: int
+    source: str
+    results: List[SweepResult] = field(default_factory=list)
+    resumed_cells: int = 0
+    computed_cells: int = 0
+
+
+def _source_label(source: object) -> str:
+    """Stable string identity for a trace source (checkpoint signatures)."""
+    if isinstance(source, Trace):
+        return f"<trace:{source.name}:{len(source)}>"
+    return str(source)
+
+
+def _soa_capable(config: SweepConfig) -> bool:
+    return config.strategy in SOA_STRATEGIES and not config.track_sizes
+
+
+def _fleet_one(payload: _Payload) -> Tuple[int, List[Row], Dict[str, int]]:
+    """Evaluate one trace's full grid inside a fleet worker.
+
+    Loads the per-trace checkpoint first and computes only the missing
+    cells, streaming the trace from disk; every fresh row is appended
+    durably as soon as its pass completes, so a crash mid-trace loses at
+    most the unfinished pass.
+    """
+    (
+        index,
+        source,
+        configs,
+        grid_seed,
+        max_size,
+        chunk_size,
+        ckpt_path,
+        signature,
+        errors,
+    ) = payload
+    maybe_inject(index)
+    ckpt: Optional[SweepCheckpoint] = None
+    rows: Dict[int, Row] = {}
+    if ckpt_path is not None:
+        assert signature is not None
+        ckpt = SweepCheckpoint(ckpt_path, signature)
+        rows = ckpt.load()
+    resumed = len(rows)
+    seeds = spawn_seeds(len(configs), grid_seed)
+    missing = [i for i in range(len(configs)) if i not in rows]
+    if missing:
+        stream = open_trace_stream(source, chunk_size, errors)
+        soa_cells = [i for i in missing if _soa_capable(configs[i])]
+        scalar_cells = [i for i in missing if not _soa_capable(configs[i])]
+        if soa_cells:
+            # One streamed pass evaluates every SoA cell; explicit seeds
+            # keep each cell on its original grid position's stream even
+            # when only a subset of the grid is missing (resume).
+            grid = MultiKRR(
+                [configs[i] for i in soa_cells],
+                seeds=[seeds[i] for i in soa_cells],
+            )
+            for i, res in zip(soa_cells, grid.run(stream=stream, max_size=max_size)):
+                row: Row = (
+                    i,
+                    res.sizes,
+                    res.miss_ratios,
+                    res.unit,
+                    {
+                        "requests_seen": res.requests_seen,
+                        "requests_sampled": res.requests_sampled,
+                        "cold_misses": res.cold_misses,
+                        "stack_updates": res.stack_updates,
+                        "swap_positions": res.swap_positions,
+                    },
+                )
+                rows[i] = row
+                if ckpt is not None:
+                    ckpt.append(row)
+        if scalar_cells:
+            # The scalar cells share one more streamed pass: every model
+            # consumes each chunk while it is hot.
+            models = {
+                i: KRRModel(
+                    k=configs[i].k,
+                    strategy=configs[i].strategy,
+                    sampling_rate=configs[i].sampling_rate,
+                    correction=configs[i].correction,
+                    track_sizes=configs[i].track_sizes,
+                    seed=seeds[i],
+                )
+                for i in scalar_cells
+            }
+            for chunk in stream:
+                sizes = chunk.sizes.tolist()
+                for model in models.values():
+                    model.access_many(chunk.keys, sizes, engine="scalar")
+            for i, model in models.items():
+                if configs[i].track_sizes:
+                    curve = model.byte_mrc()
+                    unit = "bytes"
+                else:
+                    curve = model.mrc(max_size=max_size)
+                    unit = "objects"
+                s = model.stats
+                row = (
+                    i,
+                    curve.sizes,
+                    curve.miss_ratios,
+                    unit,
+                    {
+                        "requests_seen": s.requests_seen,
+                        "requests_sampled": s.requests_sampled,
+                        "cold_misses": s.cold_misses,
+                        "stack_updates": s.stack_updates,
+                        "swap_positions": s.swap_positions,
+                    },
+                )
+                rows[i] = row
+                if ckpt is not None:
+                    ckpt.append(row)
+    ordered = [rows[i] for i in range(len(configs))]
+    return index, ordered, {"resumed": resumed, "computed": len(missing)}
+
+
+class FleetSweep:
+    """A config grid evaluated against a fleet of traces.
+
+    Parameters
+    ----------
+    configs:
+        The grid applied to *every* trace; build cross-products with
+        :meth:`grid`.
+    seed:
+        Fleet-level seed.  Per-trace grid seeds spawn from it by trace
+        position, and per-cell seeds from those by cell position, so
+        results are independent of worker count, scheduling, chunking
+        and resume.
+    """
+
+    def __init__(self, configs: Sequence[SweepConfig], seed: int = 0) -> None:
+        self.configs: List[SweepConfig] = list(configs)
+        if not self.configs:
+            raise ValueError("need at least one SweepConfig")
+        self.seed = int(seed)
+
+    @classmethod
+    def grid(
+        cls,
+        ks: Iterable[int],
+        strategies: Iterable[str] = ("backward",),
+        sampling_rates: Iterable[Optional[float]] = (None,),
+        correction: bool = True,
+        track_sizes: bool = False,
+        seed: int = 0,
+    ) -> "FleetSweep":
+        """Cross-product grid, same cell order as ``ModelSweep.grid``."""
+        configs = [
+            SweepConfig(
+                k=int(k),
+                strategy=s,
+                sampling_rate=r,
+                correction=correction,
+                track_sizes=track_sizes,
+            )
+            for k, s, r in product(ks, strategies, sampling_rates)
+        ]
+        return cls(configs, seed=seed)
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def trace_seeds(self, n_traces: int) -> List[int]:
+        """Per-trace grid seeds, fixed by trace position in the fleet."""
+        return spawn_seeds(n_traces, self.seed)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        sources: Sequence[Union[str, Path, Trace]],
+        *,
+        checkpoint_dir: Union[str, Path, None] = None,
+        max_workers: Optional[int] = None,
+        max_size: Optional[int] = None,
+        chunk_size: int = DEFAULT_CHUNK,
+        task_timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.5,
+        max_pool_rebuilds: int = 3,
+        errors: str = "strict",
+    ) -> Tuple[List[FleetTraceResult], RunReport]:
+        """Evaluate the grid against every source; ordered like ``sources``.
+
+        ``sources`` are trace *references* — file paths (``.csv``,
+        ``.csv.gz``, ``.npz``, or a ``save_chunked`` directory) or
+        in-memory :class:`Trace` objects.  Paths are opened inside each
+        worker as bounded-memory streams, so the parent never holds a
+        trace and a worker holds at most one chunk's columns (plus model
+        state) at a time.
+
+        ``checkpoint_dir`` enables hierarchical resume: a ``fleet.json``
+        manifest validated against this fleet's signature, plus one
+        JSONL checkpoint per trace.  Fully-checkpointed traces are
+        skipped in the parent; partially-finished traces recompute only
+        their missing cells.  ``chunk_size``, ``max_workers`` and
+        timeout/retry knobs are absent from every signature — they
+        cannot change results, so a resume may change them freely.
+        """
+        sources = list(sources)
+        if not sources:
+            raise ValueError("need at least one trace source")
+        labels = [_source_label(s) for s in sources]
+        if len(set(labels)) != len(labels):
+            raise ValueError("duplicate trace sources in fleet")
+        grid_seeds = self.trace_seeds(len(sources))
+
+        ckpt_dir: Optional[Path] = None
+        if checkpoint_dir is not None:
+            ckpt_dir = Path(checkpoint_dir)
+            ckpt_dir.mkdir(parents=True, exist_ok=True)
+            self._ensure_manifest(ckpt_dir, labels, max_size)
+
+        payloads: List[_Payload] = []
+        for i, source in enumerate(sources):
+            ckpt_path: Optional[str] = None
+            signature: Optional[dict] = None
+            if ckpt_dir is not None:
+                ckpt_path = str(ckpt_dir / f"trace-{i:04d}.jsonl")
+                signature = self._trace_signature(i, labels[i], max_size)
+            payloads.append(
+                (
+                    i,
+                    str(source) if isinstance(source, Path) else source,
+                    tuple(self.configs),
+                    grid_seeds[i],
+                    max_size,
+                    int(chunk_size),
+                    ckpt_path,
+                    signature,
+                    errors,
+                )
+            )
+
+        # Fleet-level resume: traces whose checkpoint already holds every
+        # grid row never reach a worker (so crash-injection latches and
+        # retry budgets are not re-spent on finished work).
+        completed: Dict[int, Tuple[int, List[Row], Dict[str, int]]] = {}
+        if ckpt_dir is not None:
+            for i, payload in enumerate(payloads):
+                assert payload[7] is not None
+                ckpt = SweepCheckpoint(Path(payload[6] or ""), payload[7])
+                rows = ckpt.load()
+                if len(rows) == len(self.configs):
+                    ordered = [rows[j] for j in range(len(self.configs))]
+                    completed[i] = (
+                        i,
+                        ordered,
+                        {"resumed": len(rows), "computed": 0},
+                    )
+
+        runner = ResilientRunner(
+            _fleet_one,
+            max_workers=resolve_workers(max_workers, len(payloads) - len(completed)),
+            task_timeout=task_timeout,
+            retries=retries,
+            backoff=backoff,
+            max_pool_rebuilds=max_pool_rebuilds,
+        )
+        raw, report = runner.run(payloads, completed=completed)
+
+        results: List[FleetTraceResult] = []
+        for i, (index, rows, counters) in enumerate(raw):
+            seeds = spawn_seeds(len(self.configs), grid_seeds[i])
+            trace_results = [
+                SweepResult(
+                    config=self.configs[j],
+                    seed=seeds[j],
+                    sizes=np.asarray(sizes),
+                    miss_ratios=np.asarray(ratios),
+                    unit=unit,
+                    **stats,
+                )
+                for j, sizes, ratios, unit, stats in rows
+            ]
+            results.append(
+                FleetTraceResult(
+                    index=index,
+                    source=labels[i],
+                    results=trace_results,
+                    resumed_cells=int(counters.get("resumed", 0)),
+                    computed_cells=int(counters.get("computed", 0)),
+                )
+            )
+        return results, report
+
+    # ------------------------------------------------------------------
+    def fleet_report(
+        self, results: Sequence[FleetTraceResult], report: RunReport
+    ) -> Dict[str, Any]:
+        """Consolidated JSON-safe fleet report (the ``--report`` artifact)."""
+        return {
+            "kind": "repro-fleet-report",
+            "version": 1,
+            "fleet_seed": self.seed,
+            "n_traces": len(results),
+            "n_configs": len(self.configs),
+            "configs": [asdict(c) for c in self.configs],
+            "run": report.to_dict(),
+            "traces": [
+                {
+                    "index": r.index,
+                    "source": r.source,
+                    "resumed_cells": r.resumed_cells,
+                    "computed_cells": r.computed_cells,
+                    "requests_seen": (
+                        r.results[0].requests_seen if r.results else 0
+                    ),
+                    "final_miss_ratios": [
+                        float(c.miss_ratios[-1]) if c.miss_ratios.size else None
+                        for c in r.results
+                    ],
+                }
+                for r in results
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    def _signature(self, labels: Sequence[str], max_size: Optional[int]) -> dict:
+        return {
+            "fleet_seed": self.seed,
+            "max_size": max_size,
+            "configs": [asdict(c) for c in self.configs],
+            "traces": list(labels),
+        }
+
+    def _trace_signature(
+        self, index: int, label: str, max_size: Optional[int]
+    ) -> dict:
+        return {
+            "fleet_seed": self.seed,
+            "max_size": max_size,
+            "configs": [asdict(c) for c in self.configs],
+            "trace": {"index": index, "source": label},
+        }
+
+    def _ensure_manifest(
+        self, ckpt_dir: Path, labels: Sequence[str], max_size: Optional[int]
+    ) -> None:
+        """Create the fleet manifest, or validate an existing one.
+
+        A manifest written by a *different* fleet (other seed, grid,
+        trace list or max_size) raises :class:`CheckpointMismatch`
+        instead of silently splicing foreign per-trace checkpoints into
+        this run's results.
+        """
+        manifest_path = ckpt_dir / MANIFEST_NAME
+        expected = {
+            "kind": _MANIFEST_KIND,
+            "version": _MANIFEST_VERSION,
+            "signature": self._signature(labels, max_size),
+        }
+        if manifest_path.exists():
+            try:
+                found = json.loads(manifest_path.read_text())
+            except json.JSONDecodeError:
+                raise CheckpointMismatch(
+                    f"{manifest_path}: unreadable fleet manifest — delete the "
+                    "checkpoint directory or point --checkpoint-dir elsewhere"
+                )
+            if found != expected:
+                raise CheckpointMismatch(
+                    f"{manifest_path}: checkpoint directory belongs to a "
+                    "different fleet (seed, grid, trace list or max_size "
+                    "changed) — delete it or point --checkpoint-dir elsewhere"
+                )
+            return
+        tmp = manifest_path.with_suffix(".json.tmp")
+        with tmp.open("w") as fh:
+            fh.write(json.dumps(expected, indent=2) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(manifest_path)
+        _fsync_dir(ckpt_dir)
+
+
+def fleet_sweep(
+    sources: Sequence[Union[str, Path, Trace]],
+    ks: Iterable[int],
+    strategies: Iterable[str] = ("backward",),
+    sampling_rates: Iterable[Optional[float]] = (None,),
+    seed: int = 0,
+    **run_kwargs: Any,
+) -> List[FleetTraceResult]:
+    """Convenience: build a fleet grid and run it in one call."""
+    fleet = FleetSweep.grid(
+        ks, strategies=strategies, sampling_rates=sampling_rates, seed=seed
+    )
+    results, _ = fleet.run(sources, **run_kwargs)
+    return results

@@ -46,6 +46,7 @@ from ..sampling.hashing import splitmix64
 from ..workloads.trace import Trace
 
 __all__ = [
+    "StreamingTracePlan",
     "TracePlan",
     "clear_plan_cache",
     "trace_fingerprint",
@@ -214,6 +215,90 @@ class TracePlan:
         _ = self.key_ids
         _ = self.prev_occurrence
         _ = self.hashes(0)
+
+
+class StreamingTracePlan:
+    """The out-of-core sibling of :class:`TracePlan`: per-chunk columns.
+
+    A :class:`TracePlan` hoists whole-trace preparation; with a bounded-
+    memory :class:`~repro.workloads.stream.TraceStream` the whole columns
+    never exist, so the same preparation is computed *incrementally*:
+
+    * :meth:`intern` — dense key ids assigned in first-seen order by a
+      persistent dict, one vectorized unique-pass per chunk.  Id *values*
+      differ from :attr:`TracePlan.key_ids` (sorted-table order) but the
+      key<->id bijection is equivalent, which is all the SoA stacks need
+      (distances depend on stack positions, not id values — see
+      :meth:`~repro.stack.soa.SoAKRRStack.access_many_interned`).
+    * :meth:`chunk_hashes` — per-chunk ``splitmix64`` columns, memoized
+      per hash seed *for the current chunk only* so a grid with many
+      cells sharing one sampler seed hashes each chunk once.  The hash is
+      stateless per key, so chunked masks select exactly the rows a
+      whole-column mask would.
+    * :meth:`observe` — running request count and a chained CRC32
+      fingerprint over the chunks (chunk-layout dependent; stable for
+      replays of the same stream).
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[int, int] = {}
+        self.n_requests = 0
+        self.n_chunks = 0
+        self.fingerprint = 0
+        self._hash_chunk_id = -1
+        self._hash_cache: Dict[int, np.ndarray] = {}
+
+    @property
+    def n_unique_keys(self) -> int:
+        return len(self._ids)
+
+    def observe(self, chunk: Trace) -> None:
+        """Fold one chunk into the running counters and fingerprint."""
+        crc = zlib.crc32(chunk.keys.tobytes(), self.fingerprint)
+        crc = zlib.crc32(chunk.sizes.tobytes(), crc)
+        self.fingerprint = zlib.crc32(chunk.ops.tobytes(), crc)
+        self.n_requests += len(chunk)
+        self.n_chunks += 1
+
+    def intern(self, keys: np.ndarray) -> np.ndarray:
+        """Dense first-seen ids for one chunk's key column (stateful)."""
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        lut = np.empty(uniq.shape[0], dtype=np.int64)
+        ids = self._ids
+        for j, key in enumerate(uniq.tolist()):
+            kid = ids.get(key)
+            if kid is None:
+                kid = len(ids)
+                ids[key] = kid
+            lut[j] = kid
+        return np.ascontiguousarray(lut[inverse], dtype=np.int64)
+
+    def chunk_hashes(self, keys: np.ndarray, seed: int = 0) -> np.ndarray:
+        """``splitmix64`` of one chunk's keys, memoized for the current chunk.
+
+        The memo is keyed by ``(chunk identity, seed)`` where chunk
+        identity is the per-plan chunk counter — call :meth:`observe`
+        *before* hashing a new chunk so the memo rolls over.
+        """
+        if self._hash_chunk_id != self.n_chunks:
+            self._hash_cache.clear()
+            self._hash_chunk_id = self.n_chunks
+        column = self._hash_cache.get(int(seed))
+        if column is None:
+            hashed = splitmix64(keys, int(seed))
+            assert isinstance(hashed, np.ndarray)
+            column = np.ascontiguousarray(hashed, dtype=np.uint64)
+            self._hash_cache[int(seed)] = column
+        return column
+
+    def chunk_sample_mask(
+        self, keys: np.ndarray, threshold: int, modulus: int, seed: int = 0
+    ) -> np.ndarray:
+        """Per-chunk keep-mask, identical to the whole-column mask's rows."""
+        hashed = self.chunk_hashes(keys, seed)
+        mask = (hashed % np.uint64(modulus)) < np.uint64(threshold)
+        assert isinstance(mask, np.ndarray)
+        return mask
 
 
 _PLAN_CACHE_MAX = 8

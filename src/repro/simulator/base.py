@@ -9,7 +9,7 @@ returning hit/miss — and carry a :class:`CacheStats`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import Iterable, Protocol, Union, runtime_checkable
 
 from ..workloads.trace import Trace
 
@@ -55,22 +55,31 @@ class CacheSimulator(Protocol):
         ...
 
 
-def run_trace(sim: CacheSimulator, trace: Trace) -> CacheStats:
-    """Run a whole trace through a simulator; returns its stats.
+def run_trace(
+    sim: CacheSimulator, trace: Union[Trace, Iterable[Trace]]
+) -> CacheStats:
+    """Run a trace (or a stream of trace chunks) through a simulator.
 
     Simulators that expose a batched ``access_many(keys, sizes)`` (e.g.
-    :class:`~repro.simulator.klru.KLRUCache`) get the whole columns in one
-    call — the batch path is required to consume its RNG draw-for-draw
+    :class:`~repro.simulator.klru.KLRUCache`) get each chunk's columns in
+    one call — the batch path is required to consume its RNG draw-for-draw
     like per-access streaming, so stats and final residency are identical
     either way.  Everything else falls back to the per-access loop.
+
+    ``trace`` also accepts any bounded-memory
+    :class:`~repro.workloads.stream.TraceStream`: simulator state (cache
+    contents, RNG draws) persists across chunks, so a streamed run is
+    identical to the concatenated in-memory run for any chunk size.
     """
-    keys = trace.keys
-    sizes = trace.sizes
+    chunks: Iterable[Trace] = (trace,) if isinstance(trace, Trace) else trace
     access_many = getattr(sim, "access_many", None)
-    if access_many is not None:
-        access_many(keys, sizes)
-        return sim.stats
-    access = sim.access
-    for i in range(keys.shape[0]):
-        access(int(keys[i]), int(sizes[i]))
+    for chunk in chunks:
+        keys = chunk.keys
+        sizes = chunk.sizes
+        if access_many is not None:
+            access_many(keys, sizes)
+            continue
+        access = sim.access
+        for i in range(keys.shape[0]):
+            access(int(keys[i]), int(sizes[i]))
     return sim.stats

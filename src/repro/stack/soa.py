@@ -142,6 +142,9 @@ class SoAKRRStack:
         self._ids: Dict[int, int] = {}
         self._id_keys: List[int] = []
         self._key_table: Optional[np.ndarray] = None
+        # True once access_many_interned bound this stack to an external
+        # streaming interner (first-seen dense ids, no key table here).
+        self._external_dense = False
 
         #: Cumulative number of swap positions drawn (Fig 5.4's cost proxy).
         self.total_swaps = 0
@@ -191,6 +194,11 @@ class SoAKRRStack:
         return -1 if slot < 0 else slot + 1
 
     def _lookup_id(self, key: int) -> Optional[int]:
+        if self._external_dense:
+            raise RuntimeError(
+                "this stack consumes externally-interned dense ids "
+                "(access_many_interned); the caller owns the key<->id map"
+            )
         if self._key_table is not None:
             idx = int(np.searchsorted(self._key_table, key))
             if idx < self._key_table.shape[0] and int(self._key_table[idx]) == key:
@@ -199,6 +207,11 @@ class SoAKRRStack:
         return self._ids.get(key)
 
     def _key_of_id(self, kid: int) -> int:
+        if self._external_dense:
+            raise RuntimeError(
+                "this stack consumes externally-interned dense ids; "
+                "the caller owns the key<->id map"
+            )
         if self._key_table is not None:
             return int(self._key_table[kid])
         return self._id_keys[kid]
@@ -244,10 +257,11 @@ class SoAKRRStack:
 
     def _intern_keys(self, keys: np.ndarray) -> np.ndarray:
         """Map raw keys to dense ids, assigning fresh ids to unseen keys."""
-        if self._key_table is not None:
+        if self._key_table is not None or self._external_dense:
             raise RuntimeError(
-                "this stack was fed pre-factorized ids (access_many_ids); "
-                "mixing raw-key access would corrupt the id space"
+                "this stack was fed pre-factorized ids (access_many_ids/"
+                "access_many_interned); mixing raw-key access would corrupt "
+                "the id space"
             )
         uniq, inverse = np.unique(keys, return_inverse=True)
         lut = np.empty(uniq.shape[0], dtype=np.int64)
@@ -303,10 +317,10 @@ class SoAKRRStack:
         retained for reverse lookups, and later raw-key calls are
         rejected to keep the id space consistent.
         """
-        if self._ids:
+        if self._ids or self._external_dense:
             raise RuntimeError(
-                "this stack already interned raw keys; cannot switch to "
-                "pre-factorized ids"
+                "this stack already interned keys (raw or streaming); "
+                "cannot switch to pre-factorized table ids"
             )
         table = np.asarray(key_table, dtype=np.int64)
         if self._key_table is not None and table is not self._key_table:
@@ -316,6 +330,34 @@ class SoAKRRStack:
                     "ids from another trace would corrupt the stack"
                 )
         self._key_table = table
+        kids = np.ascontiguousarray(np.asarray(kids, dtype=np.int64))
+        return self._access_ids(kids, sizes)
+
+    def access_many_interned(
+        self,
+        kids: np.ndarray,
+        sizes: Union[np.ndarray, Sequence[int], None] = None,
+    ) -> np.ndarray:
+        """:meth:`access_many` on *externally streamed* dense key ids.
+
+        The out-of-core feed: a streaming interner (e.g.
+        :class:`~repro.engine.plan.StreamingTracePlan`) assigns dense ids
+        in first-seen order, chunk by chunk, and this stack just consumes
+        them — capacity grows on demand, so the distinct-key count never
+        needs to be known up front.  Ids are opaque labels to the update
+        walk (distances depend only on stack *positions*), so the
+        resulting distance sequence is bit-identical to
+        :meth:`access_many_ids` over the same trace with sorted-table
+        ids.  The caller owns the key<->id map; reverse lookups
+        (``position_of`` etc.) are refused in this mode, as is mixing
+        with the other access paths.
+        """
+        if self._ids or self._key_table is not None:
+            raise RuntimeError(
+                "this stack already interned keys via another access path; "
+                "mixing with streamed dense ids would corrupt the id space"
+            )
+        self._external_dense = True
         kids = np.ascontiguousarray(np.asarray(kids, dtype=np.int64))
         return self._access_ids(kids, sizes)
 

@@ -8,21 +8,40 @@ for the substitution rationale).
 
 from .trace import OP_DELETE, OP_GET, OP_SET, Request, Trace, reuse_times
 from .stats import TraceProfile, estimate_zipf_alpha, profile_trace
+from .stream import (
+    ChunkedTraceReader,
+    ShardCorruption,
+    TraceStream,
+    iter_chunks,
+    iter_csv,
+    iter_npz,
+    open_trace_stream,
+    save_chunked,
+)
 from .zipf import ScrambledZipfGenerator, ZipfGenerator, zipf_trace_keys
-from . import io, msr, patterns, stats, twitter, ycsb
+from . import io, msr, patterns, stats, stream, twitter, ycsb
 
 __all__ = [
     "OP_DELETE",
     "OP_GET",
     "OP_SET",
+    "ChunkedTraceReader",
     "Request",
     "ScrambledZipfGenerator",
+    "ShardCorruption",
     "Trace",
     "TraceProfile",
+    "TraceStream",
     "ZipfGenerator",
     "estimate_zipf_alpha",
+    "iter_chunks",
+    "iter_csv",
+    "iter_npz",
+    "open_trace_stream",
     "profile_trace",
+    "save_chunked",
     "stats",
+    "stream",
     "io",
     "msr",
     "patterns",

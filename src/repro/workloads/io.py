@@ -2,6 +2,9 @@
 
 CSV columns are ``key,size,op`` with a header row; ``op`` is the textual
 name (``get``/``set``/``delete``).  NPZ stores the three arrays verbatim.
+Both loaders accept gzipped CSV transparently (``.csv.gz``) through the
+shared :func:`open_text` helper, which the chunked streaming readers in
+:mod:`repro.workloads.stream` use as well.
 
 Real-world trace files are dirty: short rows, non-numeric keys, unknown
 op names.  :func:`load_csv` defaults to ``errors="strict"`` (raise on the
@@ -13,8 +16,9 @@ abort a multi-hour sweep over an otherwise good trace.
 from __future__ import annotations
 
 import csv
+import gzip
 from pathlib import Path
-from typing import Union
+from typing import IO, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
@@ -22,11 +26,28 @@ from .trace import Trace, op_code, op_name
 
 PathLike = Union[str, Path]
 
+_INT64_MIN, _INT64_MAX = -(1 << 63), (1 << 63) - 1
+
+
+def open_text(path: PathLike, mode: str = "rt") -> IO[str]:
+    """Open a text file, decompressing transparently when it ends in ``.gz``.
+
+    The shared open-helper for every CSV reader/writer in the package:
+    :func:`load_csv`/:func:`save_csv` here and the chunked
+    :func:`repro.workloads.stream.iter_csv` all call it, so ``.csv`` and
+    ``.csv.gz`` paths are interchangeable everywhere a trace file is
+    accepted.  ``newline=""`` is applied unconditionally (the csv module
+    requires it).
+    """
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode if "t" in mode else mode + "t", newline="")
+    return open(path, mode, newline="")
+
 
 def save_csv(trace: Trace, path: PathLike) -> None:
-    """Write a trace to CSV (one request per row)."""
-    path = Path(path)
-    with path.open("w", newline="") as fh:
+    """Write a trace to CSV (gzipped when ``path`` ends in ``.gz``)."""
+    with open_text(path, "wt") as fh:
         writer = csv.writer(fh)
         writer.writerow(["key", "size", "op"])
         for i in range(len(trace)):
@@ -35,66 +56,102 @@ def save_csv(trace: Trace, path: PathLike) -> None:
             )
 
 
+class _CsvRowReader:
+    """Header binding + row validation shared by all CSV trace readers.
+
+    ``errors="strict"`` raises on the first malformed row;
+    ``errors="skip"`` drops malformed rows (short rows, non-integer
+    fields, out-of-range values, unknown op names, sizes < 1) and counts
+    them on :attr:`skipped`.
+    """
+
+    def __init__(self, path: PathLike, errors: str = "strict") -> None:
+        if errors not in ("strict", "skip"):
+            raise ValueError(f"errors must be 'strict' or 'skip', got {errors!r}")
+        self.path = Path(path)
+        self.errors = errors
+        self.skipped = 0
+        self._ki = 0
+        self._si: Optional[int] = None
+        self._oi: Optional[int] = None
+
+    def bind_header(self, header: list[str]) -> None:
+        cols = {c.strip().lower(): i for i, c in enumerate(header)}
+        if "key" not in cols:
+            raise ValueError(
+                f"{self.path}: CSV must have a 'key' column, got {header}"
+            )
+        self._ki = cols["key"]
+        self._si = cols.get("size")
+        self._oi = cols.get("op")
+
+    def parse(self, row: list[str]) -> Optional[Tuple[int, int, int]]:
+        """One validated ``(key, size, op)`` row; ``None`` = blank/skipped."""
+        if not row:
+            return None
+        try:
+            key = int(row[self._ki])
+            size = int(row[self._si]) if self._si is not None else 1
+            if not (_INT64_MIN <= key <= _INT64_MAX) or not (
+                _INT64_MIN <= size <= _INT64_MAX
+            ):
+                raise ValueError(
+                    f"{self.path}: key/size out of int64 range: {row!r}"
+                )
+            if size < 1:
+                raise ValueError(
+                    f"{self.path}: object sizes must be >= 1 byte: {row!r}"
+                )
+            op = op_code(row[self._oi].strip().lower()) if self._oi is not None else 0
+        except (ValueError, IndexError, KeyError):
+            if self.errors == "strict":
+                raise
+            self.skipped += 1
+            return None
+        return key, size, op
+
+    def rows(self, fh: IO[str]) -> Iterator[Tuple[int, int, int]]:
+        """Validated rows of an open CSV file (header consumed here)."""
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None:
+            return
+        self.bind_header(header)
+        for row in reader:
+            parsed = self.parse(row)
+            if parsed is not None:
+                yield parsed
+
+
 def load_csv(
     path: PathLike, name: str | None = None, errors: str = "strict"
 ) -> Trace:
     """Read a trace written by :func:`save_csv` (or any key,size,op CSV).
 
+    Accepts gzipped files transparently (``.csv.gz``).
     ``errors="strict"`` (default) raises on the first malformed row;
-    ``errors="skip"`` drops malformed rows (short rows, non-integer
-    fields, out-of-range values, unknown op names, sizes < 1) and reports
-    the dropped count on the returned trace's ``skipped_rows``.
+    ``errors="skip"`` drops malformed rows and reports the dropped count
+    on the returned trace's ``skipped_rows``.
     """
-    if errors not in ("strict", "skip"):
-        raise ValueError(f"errors must be 'strict' or 'skip', got {errors!r}")
     path = Path(path)
+    parser = _CsvRowReader(path, errors)
     keys: list[int] = []
     sizes: list[int] = []
     ops: list[int] = []
-    skipped = 0
-    with path.open(newline="") as fh:
-        reader = csv.reader(fh)
-        header = next(reader, None)
-        if header is None:
-            return Trace(np.empty(0, dtype=np.int64), name=name or path.stem)
-        cols = {c.strip().lower(): i for i, c in enumerate(header)}
-        if "key" not in cols:
-            raise ValueError(f"{path}: CSV must have a 'key' column, got {header}")
-        ki = cols["key"]
-        si = cols.get("size")
-        oi = cols.get("op")
-        int64_min, int64_max = -(1 << 63), (1 << 63) - 1
-        for row in reader:
-            if not row:
-                continue
-            try:
-                key = int(row[ki])
-                size = int(row[si]) if si is not None else 1
-                if not (int64_min <= key <= int64_max) or not (
-                    int64_min <= size <= int64_max
-                ):
-                    raise ValueError(
-                        f"{path}: key/size out of int64 range: {row!r}"
-                    )
-                if size < 1:
-                    raise ValueError(
-                        f"{path}: object sizes must be >= 1 byte: {row!r}"
-                    )
-                op = op_code(row[oi].strip().lower()) if oi is not None else 0
-            except (ValueError, IndexError, KeyError):
-                if errors == "strict":
-                    raise
-                skipped += 1
-                continue
+    stem = path.stem[:-4] if path.stem.endswith(".csv") else path.stem
+    with open_text(path, "rt") as fh:
+        for key, size, op in parser.rows(fh):
             keys.append(key)
             sizes.append(size)
             ops.append(op)
+    if not keys and parser.skipped == 0:
+        return Trace(np.empty(0, dtype=np.int64), name=name or stem)
     return Trace(
         np.asarray(keys, dtype=np.int64),
         np.asarray(sizes, dtype=np.int64),
         np.asarray(ops, dtype=np.int8),
-        name=name or path.stem,
-        skipped_rows=skipped,
+        name=name or stem,
+        skipped_rows=parser.skipped,
     )
 
 
@@ -108,11 +165,14 @@ def save_npz(trace: Trace, path: PathLike) -> None:
     """Write a trace to compressed NPZ (fast, lossless).
 
     The ``.npz`` suffix is normalized up front (numpy appends it anyway),
-    so ``save_npz(t, "foo")`` and ``load_npz("foo")`` round-trip.
+    so ``save_npz(t, "foo")`` and ``load_npz("foo")`` round-trip.  The
+    trace's ``skipped_rows`` count is persisted alongside the columns so a
+    skip-loaded trace keeps its drop count across the round-trip.
     """
     np.savez_compressed(
         _npz_path(path), keys=trace.keys, sizes=trace.sizes, ops=trace.ops,
         name=np.array(trace.name),
+        skipped_rows=np.array(trace.skipped_rows, dtype=np.int64),
     )
 
 
@@ -123,4 +183,8 @@ def load_npz(path: PathLike) -> Trace:
         p = _npz_path(p)
     with np.load(p, allow_pickle=False) as data:
         name = str(data["name"]) if "name" in data else p.stem
-        return Trace(data["keys"], data["sizes"], data["ops"], name=name)
+        skipped = int(data["skipped_rows"]) if "skipped_rows" in data else 0
+        return Trace(
+            data["keys"], data["sizes"], data["ops"],
+            name=name, skipped_rows=skipped,
+        )
